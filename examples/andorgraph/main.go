@@ -1,0 +1,33 @@
+// andorgraph reproduces the paper's driving example: the SearchSpace
+// relation (Table 1) and the annotated and-or-graph (Figure 2) for the
+// simplified TPC-H Q3 (Q3S) — customer x orders x lineitem.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/tpch"
+)
+
+func main() {
+	cat := tpch.Generate(tpch.DefaultConfig())
+	opt, err := repro.NewOptimizer(tpch.Q3S(), cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== SearchSpace relation (cf. paper Table 1) ==")
+	fmt.Print(opt.SearchSpace())
+
+	fmt.Println("\n== and-or-graph (cf. paper Figure 2) ==")
+	fmt.Print(opt.AndOrGraph())
+
+	fmt.Println("\n== chosen plan ==")
+	fmt.Print(plan.Explain(opt.Query()))
+}

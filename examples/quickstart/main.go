@@ -1,0 +1,47 @@
+// Quickstart: optimize a TPC-H query, inspect the plan, apply a runtime
+// statistics update, and re-optimize incrementally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/tpch"
+)
+
+func main() {
+	// Generate a small TPC-H database with statistics and indexes.
+	cat := tpch.Generate(tpch.DefaultConfig())
+
+	// Build the incremental optimizer for TPC-H Q5 (a six-way join).
+	opt, err := repro.NewOptimizer(tpch.Q5(), cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== initial plan ==")
+	fmt.Print(plan.Explain(opt.Query()))
+	met := opt.Metrics()
+	fmt.Printf("\nenumerated %d groups / %d alternatives; costed %d\n",
+		met.GroupsEnumerated, met.AltsEnumerated, met.AltsCosted)
+
+	// Runtime feedback arrives: the LINEITEM x ORDERS x ... subexpression
+	// is 8x larger than estimated. Re-optimize incrementally — only the
+	// affected region of the plan space is recomputed.
+	target := tpch.Q5Expressions()[3] // D = LINEITEM*C
+	fmt.Printf("\n== update: %s is 8x larger than estimated ==\n", target.Name)
+	opt.UpdateCardFactor(target.Set, 8)
+	plan, err = opt.Reoptimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	met = opt.Metrics()
+	fmt.Printf("re-optimization touched %d of %d alternatives in %v\n",
+		met.TouchedEntries, met.AltsEnumerated, met.Elapsed)
+	fmt.Println("\n== new plan ==")
+	fmt.Print(plan.Explain(opt.Query()))
+}

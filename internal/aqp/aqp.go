@@ -1,0 +1,274 @@
+// Package aqp implements the adaptive query processing loop of §5.4: the
+// data-partitioned model of Ives et al. [15], in which the system pauses at
+// "split points" between stream slices, re-estimates costs from observed
+// execution statistics, re-optimizes (incrementally or from scratch), and
+// continues executing — migrating window state across plan switches in the
+// manner of CAPS [26] (the windows are the shared state; operator state is
+// rebuilt from them at a switch, and that rebuild cost is charged to
+// execution time).
+package aqp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/relalg"
+)
+
+// Strategy selects how the controller chooses plans at split points.
+type Strategy int
+
+const (
+	// Incremental re-optimizes with the paper's incremental declarative
+	// optimizer: only state affected by the feedback deltas is repaired.
+	Incremental Strategy = iota
+	// FullReopt re-runs a complete optimization from scratch at every
+	// split point — the non-incremental comparator (Tukwila-style [15]).
+	FullReopt
+	// Static executes a fixed plan and never re-optimizes.
+	Static
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Incremental:
+		return "incremental"
+	case FullReopt:
+		return "full-reopt"
+	case Static:
+		return "static"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Config assembles a controller.
+type Config struct {
+	Query   *relalg.Query
+	Cat     *catalog.Catalog // statistics source at construction time
+	Params  cost.Params
+	Space   relalg.SpaceOptions
+	Pruning core.Pruning
+
+	Strategy Strategy
+	// Cumulative selects whether feedback factors are derived from
+	// cumulatively averaged observations (the paper's AQP-Cumulative) or
+	// from the last slice only (AQP-NonCumulative, which "fits" the plan
+	// to local data characteristics).
+	Cumulative bool
+	// StaticPlan is required for Strategy == Static.
+	StaticPlan *relalg.Plan
+	// FeedbackThreshold suppresses feedback whose factor is within this
+	// relative distance of the previously applied one (default 0.2): a
+	// cost update that would not change any decision is not worth
+	// propagating, and it is what lets re-optimization overhead converge
+	// to zero as statistics stabilize (Figure 9).
+	FeedbackThreshold float64
+}
+
+// SliceResult reports one split-point round trip.
+type SliceResult struct {
+	Reopt    time.Duration
+	Exec     time.Duration
+	Rows     int64 // result rows produced
+	Plan     *relalg.Plan
+	Switched bool // plan differs from the previous slice's
+	Touched  int  // optimizer entries touched by the incremental repair
+	BestCost float64
+}
+
+// Controller drives the adaptive loop. Not safe for concurrent use.
+type Controller struct {
+	cfg   Config
+	model *cost.Model
+	opt   *core.Optimizer // Incremental strategy
+
+	lastSig string
+	first   bool
+
+	// cumulative observation state: sum of observed cardinalities and
+	// number of observations per expression
+	obsSum map[relalg.RelSet]float64
+	obsN   map[relalg.RelSet]float64
+
+	applied map[relalg.RelSet]float64 // last factor actually sent
+	pending map[relalg.RelSet]float64 // staged factors for the next reopt
+	lastObs map[relalg.RelSet]float64 // most recent raw observations
+}
+
+// NewController builds the controller. The cost model snapshots the
+// catalog's statistics now ("the optimizer starts with zero statistical
+// information" when the window tables are still empty); all later knowledge
+// arrives through feedback factors.
+func NewController(cfg Config) (*Controller, error) {
+	m, err := cost.NewModel(cfg.Query, cfg.Cat, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FeedbackThreshold == 0 {
+		cfg.FeedbackThreshold = 0.2
+	}
+	c := &Controller{
+		cfg: cfg, model: m, first: true,
+		obsSum:  map[relalg.RelSet]float64{},
+		obsN:    map[relalg.RelSet]float64{},
+		applied: map[relalg.RelSet]float64{},
+		pending: map[relalg.RelSet]float64{},
+		lastObs: map[relalg.RelSet]float64{},
+	}
+	if cfg.Strategy == Incremental {
+		opt, err := core.New(m, cfg.Space, cfg.Pruning)
+		if err != nil {
+			return nil, err
+		}
+		c.opt = opt
+	}
+	if cfg.Strategy == Static && cfg.StaticPlan == nil {
+		return nil, fmt.Errorf("aqp: Static strategy requires StaticPlan")
+	}
+	return c, nil
+}
+
+// Model exposes the controller's cost model (for inspection in tests).
+func (c *Controller) Model() *cost.Model { return c.model }
+
+// RunSlice performs one split-point round: re-optimize under the feedback
+// staged from the previous slice, then execute the chosen plan over the
+// current window contents supplied by data.
+func (c *Controller) RunSlice(data func(rel int) [][]int64) (SliceResult, error) {
+	var res SliceResult
+
+	start := time.Now()
+	var plan *relalg.Plan
+	var err error
+	switch c.cfg.Strategy {
+	case Static:
+		plan = c.cfg.StaticPlan
+	case Incremental:
+		for s, f := range c.pending {
+			c.opt.UpdateCardFactor(s, f)
+		}
+		if c.first {
+			plan, err = c.opt.Optimize()
+		} else {
+			plan, err = c.opt.Reoptimize()
+		}
+		if err == nil {
+			res.Touched = c.opt.Metrics().TouchedEntries
+		}
+	case FullReopt:
+		for s, f := range c.pending {
+			c.model.SetCardFactor(s, f)
+		}
+		// A complete fresh optimization over the same model: all
+		// state rebuilt from scratch, as a non-incremental
+		// re-optimizer must.
+		var opt *core.Optimizer
+		opt, err = core.New(c.model, c.cfg.Space, c.cfg.Pruning)
+		if err == nil {
+			plan, err = opt.Optimize()
+			res.Touched = opt.Metrics().TouchedEntries
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	clearMap(c.pending)
+	res.Reopt = time.Since(start)
+	res.Plan = plan
+	res.BestCost = plan.Cost
+	sig := plan.Signature()
+	res.Switched = !c.first && sig != c.lastSig
+	c.lastSig = sig
+	c.first = false
+
+	// Execute over the current windows and collect actual cardinalities.
+	start = time.Now()
+	comp := &exec.Compiler{Q: c.cfg.Query, Cat: c.cfg.Cat, Data: data}
+	it, stats, err := comp.Compile(plan)
+	if err != nil {
+		return res, err
+	}
+	n, err := exec.Count(it)
+	if err != nil {
+		return res, err
+	}
+	res.Exec = time.Since(start)
+	res.Rows = n
+
+	c.observe(stats)
+	return res, nil
+}
+
+// observe converts the executed plan's actual cardinalities into staged
+// feedback factors for the next split point (§5.2.2: "re-optimized given
+// the cumulatively observed statistics").
+//
+// Factors are CALIBRATED: overrides compose multiplicatively up the subset
+// lattice (an override on S scales every expression containing S), so the
+// factor for S must be computed against the estimate that already includes
+// the corrections inherited from S's subexpressions — otherwise child and
+// parent corrections double-count and compound to absurd cardinalities.
+// Observations are therefore processed in ascending expression size, each
+// factor chosen so that the corrected estimate equals the observation.
+func (c *Controller) observe(stats *exec.RunStats) {
+	if c.cfg.Strategy == Static {
+		return
+	}
+	sets := make([]relalg.RelSet, 0, len(stats.Cards))
+	for set := range stats.Cards {
+		sets = append(sets, set)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].Count() != sets[j].Count() {
+			return sets[i].Count() < sets[j].Count()
+		}
+		return sets[i] < sets[j]
+	})
+	for _, set := range sets {
+		obs := float64(*stats.Cards[set])
+		if obs < 0.5 {
+			obs = 0.5 // zero observations still carry information
+		}
+		c.lastObs[set] = obs
+		var est float64
+		if c.cfg.Cumulative {
+			c.obsSum[set] += obs
+			c.obsN[set]++
+			est = c.obsSum[set] / c.obsN[set]
+		} else {
+			est = obs
+		}
+		// Estimate for set under the corrections applied so far,
+		// excluding set's own current factor.
+		inherited := c.model.Card(set) / c.model.CardFactor(set)
+		factor := est / inherited
+		factor = math.Min(math.Max(factor, 1e-6), 1e9)
+		prev, ok := c.applied[set]
+		if ok && math.Abs(factor-prev) <= c.cfg.FeedbackThreshold*prev {
+			continue // statistically unchanged; no delta worth emitting
+		}
+		c.applied[set] = factor
+		c.pending[set] = factor
+		// Apply immediately so larger sets in this batch calibrate
+		// against it. The pending map re-submits the same value at the
+		// next RunSlice, which stages the delta with the incremental
+		// optimizer (the model mutation itself is idempotent).
+		c.model.SetCardFactor(set, factor)
+	}
+}
+
+// obsForTest exposes the most recent raw observation for an expression
+// (test hook).
+func (c *Controller) obsForTest(set relalg.RelSet) float64 { return c.lastObs[set] }
+
+func clearMap(m map[relalg.RelSet]float64) {
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func smokeEnv() *Env {
+	e := NewEnv(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	e.Repeats = 1
+	return e
+}
+
+func parseRatio(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("ratio cell %q: %v", s, err)
+	}
+	return v
+}
+
+// TestFigure4Shape validates the qualitative claims of Figure 4 on a small
+// environment: Evita never prunes plan-table entries, the declarative
+// configuration prunes both axes, and all ratios are proper fractions.
+func TestFigure4Shape(t *testing.T) {
+	tables := smokeEnv().Figure4()
+	if len(tables) != 3 {
+		t.Fatalf("Figure4 returned %d tables", len(tables))
+	}
+	groups := tables[1]
+	alts := tables[2]
+	for _, row := range groups.Rows {
+		decl := parseRatio(t, row[1])
+		evita := parseRatio(t, row[2])
+		if evita != 0 {
+			t.Fatalf("%s: evita pruned plan table entries: %v", row[0], evita)
+		}
+		if decl <= 0 || decl > 1 {
+			t.Fatalf("%s: declarative group pruning ratio %v out of (0,1]", row[0], decl)
+		}
+	}
+	for _, row := range alts.Rows {
+		decl := parseRatio(t, row[1])
+		evita := parseRatio(t, row[2])
+		if decl <= evita {
+			t.Fatalf("%s: declarative (%v) should out-prune evita (%v)", row[0], decl, evita)
+		}
+	}
+}
+
+// TestFigure5Shape: larger changed expressions touch no more state than
+// smaller ones (the paper's monotonicity), and a no-op ratio touches none.
+func TestFigure5Shape(t *testing.T) {
+	tables := smokeEnv().Figure5()
+	altRatios := tables[2]
+	for _, row := range altRatios.Rows {
+		if row[0] == "1" {
+			for i := 1; i < len(row); i++ {
+				if parseRatio(t, row[i]) != 0 {
+					t.Fatalf("ratio-1 update touched state: %v", row)
+				}
+			}
+			continue
+		}
+		// Monotone non-increasing from A (smallest) to E (largest).
+		prev := 2.0
+		for i := 1; i < len(row); i++ {
+			v := parseRatio(t, row[i])
+			if v > prev+1e-9 {
+				t.Fatalf("update ratio not monotone along the chain: %v", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFigure6Runs(t *testing.T) {
+	tables := smokeEnv().Figure6(4, 0.5)
+	if len(tables) != 3 || len(tables[0].Rows) != 3 {
+		t.Fatalf("Figure6 shape wrong: %d tables", len(tables))
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tables := smokeEnv().Figure7()
+	prune := tables[1]
+	for _, row := range prune.Rows {
+		aggsel := parseRatio(t, row[1])
+		withRef := parseRatio(t, row[2])
+		if withRef < aggsel-1e-9 {
+			t.Fatalf("%s: refcount reduced group pruning (%v -> %v)", row[0], aggsel, withRef)
+		}
+	}
+}
+
+func TestFigure8Runs(t *testing.T) {
+	tables := smokeEnv().Figure8()
+	if len(tables) != 3 || len(tables[0].Rows) != len(Figure5Ratios) {
+		t.Fatal("Figure8 shape wrong")
+	}
+}
+
+func TestStreamFiguresRun(t *testing.T) {
+	e := smokeEnv()
+	f9 := e.Figure9(12)
+	if len(f9.Rows) == 0 {
+		t.Fatal("Figure9 empty")
+	}
+	f10 := e.Figure10(9)
+	if len(f10.Rows) == 0 {
+		t.Fatal("Figure10 empty")
+	}
+	// Cumulative execution time columns must be non-decreasing.
+	var last [4]float64
+	for _, row := range f10.Rows {
+		for c := 1; c <= 4; c++ {
+			v := parseRatio(t, row[c])
+			if v < last[c-1]-1e-9 {
+				t.Fatalf("cumulative time decreased in column %d: %v", c, row)
+			}
+			last[c-1] = v
+		}
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	tb := smokeEnv().Table3()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Table3 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestSmallQueriesRuns(t *testing.T) {
+	tb := smokeEnv().SmallQueries()
+	if len(tb.Rows) != 3 {
+		t.Fatal("SmallQueries rows wrong")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	e := smokeEnv()
+	so := e.AblationSearchOrder()
+	if len(so.Rows) == 0 {
+		t.Fatal("search-order ablation empty")
+	}
+	ps := e.AblationPlanSpace()
+	if len(ps.Rows) < 4 {
+		t.Fatal("plan-space ablation empty")
+	}
+	// The restricted spaces can never beat the full space's optimum.
+	full := parseRatio(t, ps.Rows[0][1])
+	for _, row := range ps.Rows[1:] {
+		if parseRatio(t, row[1]) < full-1e-6 {
+			t.Fatalf("restricted space beat the full space: %v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "x", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	out := tb.String()
+	for _, want := range []string{"== x ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package catalog models the database's physical design and statistics:
+// tables, columns, indexes, sort orders, row data, and the per-column
+// statistics (row counts, distincts, min/max, equi-depth histograms) that
+// the cost model consumes. The paper's built-in functions Fn_scansummary and
+// the histogram machinery it mentions live on top of this package.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// DefaultHistogramBuckets is the bucket count used when analyzing tables.
+const DefaultHistogramBuckets = 32
+
+// ColStats carries the optimizer-visible statistics of one column.
+type ColStats struct {
+	Distinct float64
+	Min, Max int64
+	Hist     *stats.Histogram // nil until Analyze
+}
+
+// Table is a base table: schema, optional row data, physical design and
+// statistics. Rows are fixed-arity []int64 records; strings and decimals are
+// dictionary/fixed-point encoded by the workload generators.
+type Table struct {
+	Name     string
+	ColNames []string
+	Rows     [][]int64
+
+	NumRows  float64
+	Width    float64 // estimated bytes per row, for page-count costing
+	Cols     []ColStats
+	Indexes  []int // column offsets carrying an index, ascending
+	SortedBy int   // column offset of the physical sort order, or -1
+}
+
+// NewTable creates an empty table with the given schema. SortedBy defaults
+// to -1 (heap organization).
+func NewTable(name string, cols ...string) *Table {
+	return &Table{
+		Name:     name,
+		ColNames: cols,
+		Cols:     make([]ColStats, len(cols)),
+		SortedBy: -1,
+		Width:    float64(8 * len(cols)),
+	}
+}
+
+// ColIndex returns the offset of the named column, or an error.
+func (t *Table) ColIndex(name string) (int, error) {
+	for i, c := range t.ColNames {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("catalog: table %s has no column %q", t.Name, name)
+}
+
+// MustCol is ColIndex for statically known names; it panics on a typo.
+func (t *Table) MustCol(name string) int {
+	i, err := t.ColIndex(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// AddIndex registers an index on the named column (idempotent).
+func (t *Table) AddIndex(col string) {
+	off := t.MustCol(col)
+	for _, o := range t.Indexes {
+		if o == off {
+			return
+		}
+	}
+	t.Indexes = append(t.Indexes, off)
+	sort.Ints(t.Indexes)
+}
+
+// HasIndex reports whether the column offset carries an index.
+func (t *Table) HasIndex(off int) bool {
+	for _, o := range t.Indexes {
+		if o == off {
+			return true
+		}
+	}
+	return false
+}
+
+// Append adds a row. The caller must Analyze afterwards to refresh stats.
+func (t *Table) Append(row []int64) {
+	if len(row) != len(t.ColNames) {
+		panic(fmt.Sprintf("catalog: row arity %d != schema arity %d for %s",
+			len(row), len(t.ColNames), t.Name))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Analyze recomputes NumRows and per-column statistics (distincts, min/max,
+// equi-depth histograms) from the stored rows.
+func (t *Table) Analyze(buckets int) {
+	if buckets <= 0 {
+		buckets = DefaultHistogramBuckets
+	}
+	t.NumRows = float64(len(t.Rows))
+	t.Cols = make([]ColStats, len(t.ColNames))
+	if len(t.Rows) == 0 {
+		for i := range t.Cols {
+			t.Cols[i] = ColStats{Distinct: 1}
+		}
+		return
+	}
+	col := make([]int64, len(t.Rows))
+	for c := range t.ColNames {
+		for i, row := range t.Rows {
+			col[i] = row[c]
+		}
+		h := stats.BuildHistogram(col, buckets)
+		t.Cols[c] = ColStats{
+			Distinct: h.Distinct(),
+			Min:      h.Min(),
+			Max:      h.Max(),
+			Hist:     h,
+		}
+	}
+}
+
+// SetSyntheticStats configures statistics without row data, for
+// optimizer-only experiments: rows, and per-column distinct counts with
+// value domain [0, distinct). Histograms are built over the uniform domain.
+func (t *Table) SetSyntheticStats(rows float64, distincts []int64) {
+	if len(distincts) != len(t.ColNames) {
+		panic("catalog: SetSyntheticStats arity mismatch")
+	}
+	t.NumRows = rows
+	t.Cols = make([]ColStats, len(t.ColNames))
+	for c, d := range distincts {
+		if d < 1 {
+			d = 1
+		}
+		// A compact synthetic equi-depth histogram: one bucket per
+		// decile of the domain, uniform counts.
+		vals := make([]int64, 0, 64)
+		per := rows / 64
+		if per < 1 {
+			per = 1
+		}
+		for i := 0; i < 64; i++ {
+			vals = append(vals, int64(i)*d/64)
+		}
+		h := stats.BuildHistogram(vals, 8)
+		h.Total = rows
+		for i := range h.Counts {
+			h.Counts[i] = rows / float64(len(h.Counts))
+			h.DistinctPerBucket[i] = float64(d) / float64(len(h.Counts))
+		}
+		t.Cols[c] = ColStats{Distinct: float64(d), Min: 0, Max: d - 1, Hist: h}
+	}
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// Add registers a table, replacing any previous table of the same name.
+func (c *Catalog) Add(t *Table) {
+	if _, ok := c.tables[t.Name]; !ok {
+		c.order = append(c.order, t.Name)
+	}
+	c.tables[t.Name] = t
+}
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table for statically known names.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Names returns the table names in registration order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// AnalyzeAll refreshes statistics on every table holding row data.
+func (c *Catalog) AnalyzeAll(buckets int) {
+	for _, name := range c.order {
+		t := c.tables[name]
+		if len(t.Rows) > 0 || t.NumRows == 0 {
+			t.Analyze(buckets)
+		}
+	}
+}

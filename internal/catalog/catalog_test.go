@@ -1,0 +1,109 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableSchemaHelpers(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	if off, err := tb.ColIndex("b"); err != nil || off != 1 {
+		t.Fatalf("ColIndex = %d, %v", off, err)
+	}
+	if _, err := tb.ColIndex("zzz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	tb.AddIndex("c")
+	tb.AddIndex("a")
+	tb.AddIndex("c") // idempotent
+	if len(tb.Indexes) != 2 || tb.Indexes[0] != 0 || tb.Indexes[1] != 2 {
+		t.Fatalf("Indexes = %v", tb.Indexes)
+	}
+	if !tb.HasIndex(2) || tb.HasIndex(1) {
+		t.Fatal("HasIndex wrong")
+	}
+}
+
+func TestAppendArityCheck(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch not caught")
+		}
+	}()
+	tb.Append([]int64{1})
+}
+
+func TestAnalyze(t *testing.T) {
+	tb := NewTable("t", "k", "v")
+	for i := 0; i < 100; i++ {
+		tb.Append([]int64{int64(i), int64(i % 5)})
+	}
+	tb.Analyze(8)
+	if tb.NumRows != 100 {
+		t.Fatalf("NumRows = %v", tb.NumRows)
+	}
+	if d := tb.Cols[0].Distinct; math.Abs(d-100) > 1 {
+		t.Fatalf("distinct(k) = %v", d)
+	}
+	if d := tb.Cols[1].Distinct; math.Abs(d-5) > 0.5 {
+		t.Fatalf("distinct(v) = %v", d)
+	}
+	if tb.Cols[0].Min != 0 || tb.Cols[0].Max != 99 {
+		t.Fatalf("min/max = %d/%d", tb.Cols[0].Min, tb.Cols[0].Max)
+	}
+	if tb.Cols[0].Hist == nil {
+		t.Fatal("histogram missing")
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.Analyze(4)
+	if tb.NumRows != 0 || tb.Cols[0].Distinct != 1 {
+		t.Fatalf("empty analyze: rows=%v distinct=%v", tb.NumRows, tb.Cols[0].Distinct)
+	}
+}
+
+func TestSetSyntheticStats(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.SetSyntheticStats(1000, []int64{50, 1000})
+	if tb.NumRows != 1000 {
+		t.Fatalf("rows = %v", tb.NumRows)
+	}
+	if tb.Cols[0].Distinct != 50 || tb.Cols[1].Distinct != 1000 {
+		t.Fatalf("distincts = %v %v", tb.Cols[0].Distinct, tb.Cols[1].Distinct)
+	}
+	if tb.Cols[0].Hist == nil || tb.Cols[0].Hist.Total != 1000 {
+		t.Fatal("synthetic histogram missing or mis-sized")
+	}
+}
+
+func TestCatalogRegistry(t *testing.T) {
+	c := New()
+	c.Add(NewTable("a", "x"))
+	c.Add(NewTable("b", "x"))
+	c.Add(NewTable("a", "x", "y")) // replace keeps order
+	if got := c.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	tb, err := c.Table("a")
+	if err != nil || len(tb.ColNames) != 2 {
+		t.Fatalf("replaced table wrong: %v %v", tb, err)
+	}
+	if _, err := c.Table("zzz"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	c := New()
+	tb := NewTable("t", "a")
+	tb.Append([]int64{1})
+	tb.Append([]int64{2})
+	c.Add(tb)
+	c.AnalyzeAll(4)
+	if tb.NumRows != 2 {
+		t.Fatalf("AnalyzeAll did not run: %v", tb.NumRows)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants verifies the internal consistency of the optimizer state
+// at fixpoint. It is exercised by the unit and property test suites after
+// every optimization and re-optimization, and documents the semantics the
+// delta engine must preserve:
+//
+//  1. Aggregate consistency: every costed entry appears in its group's
+//     multiset exactly once with its current cost; BestCost equals the
+//     multiset minimum; PlanCost equals LocalCost + Σ children BestCost.
+//  2. Pruning soundness: a live (unpruned) costed entry never exceeds the
+//     group's bound; the designated best entry is live in any group that
+//     is alive and reachable; pruned costed entries are ≥ the best.
+//  3. Reference counting: refCount equals the number of live, expanded,
+//     reference-holding parent entries (+1 pin for the root); with
+//     RefCount mode, alive == refCount > 0.
+//  4. Bounds (rule r1–r4 fixpoint): bound == min(bestCost, max over live
+//     parent contributions), and each stored contribution matches its
+//     defining expression.
+func (o *Optimizer) CheckInvariants() error {
+	const eps = 1e-6
+	refs := map[*group]int{}
+	if o.root != nil {
+		refs[o.root]++
+	}
+	for _, g := range o.order {
+		for _, e := range g.entries {
+			if e.refHeld {
+				for _, c := range e.children {
+					if c != nil {
+						refs[c]++
+					}
+				}
+			}
+		}
+	}
+	for _, g := range o.order {
+		// 1. aggregate consistency
+		inSet := map[*entry]float64{}
+		last := math.Inf(-1)
+		for _, it := range g.costs.items {
+			if it.cost < last {
+				return fmt.Errorf("group %v: multiset out of order", g.key)
+			}
+			last = it.cost
+			if _, dup := inSet[it.e]; dup {
+				return fmt.Errorf("group %v: duplicate multiset entry", g.key)
+			}
+			inSet[it.e] = it.cost
+		}
+		for _, e := range g.entries {
+			if e.costKnown {
+				c, ok := inSet[e]
+				if !ok {
+					return fmt.Errorf("group %v entry %d: costed but absent from aggregate", g.key, e.index)
+				}
+				if c != e.cost {
+					return fmt.Errorf("group %v entry %d: aggregate holds %v, entry says %v", g.key, e.index, c, e.cost)
+				}
+				want := e.localCost
+				incomplete := false
+				for _, ch := range e.children {
+					if ch == nil {
+						continue
+					}
+					if !ch.hasBest {
+						incomplete = true
+						break
+					}
+					want += ch.bestCost
+				}
+				if !incomplete && math.Abs(want-e.cost) > eps*math.Max(1, math.Abs(want)) {
+					return fmt.Errorf("group %v entry %d: PlanCost %v != LocalCost+children %v", g.key, e.index, e.cost, want)
+				}
+			} else if _, ok := inSet[e]; ok {
+				return fmt.Errorf("group %v entry %d: in aggregate without a cost", g.key, e.index)
+			}
+		}
+		if it, ok := g.costs.Min(); ok {
+			if !g.hasBest || g.bestCost != it.cost {
+				return fmt.Errorf("group %v: bestCost %v != aggregate min %v", g.key, g.bestCost, it.cost)
+			}
+		} else if g.hasBest {
+			return fmt.Errorf("group %v: hasBest with empty aggregate", g.key)
+		}
+
+		// 2. pruning soundness (floor-gated under suppression)
+		if o.mode.Bound {
+			for _, e := range g.entries {
+				v := e.cost
+				if o.mode.Suppress {
+					v = e.floor()
+				}
+				if e.costKnown && !e.pruned && v > g.bound+eps*mathMax1(g.bound) {
+					return fmt.Errorf("group %v entry %d: live value %v exceeds bound %v", g.key, e.index, v, g.bound)
+				}
+			}
+		}
+		if o.mode.AggSel && g.hasBest {
+			for _, e := range g.entries {
+				if e.costKnown && e.pruned && e.cost < g.bestCost-eps {
+					return fmt.Errorf("group %v entry %d: pruned cost %v below best %v", g.key, e.index, e.cost, g.bestCost)
+				}
+			}
+		}
+		// floor validity: the cached floor matches its definition and
+		// never exceeds any exact plan cost.
+		if g.floor != computeFloor(g) {
+			return fmt.Errorf("group %v: cached floor %v != computed %v", g.key, g.floor, computeFloor(g))
+		}
+		for _, e := range g.entries {
+			if e.costKnown && e.floor() > e.cost+eps*mathMax1(e.cost) {
+				return fmt.Errorf("group %v entry %d: floor %v exceeds exact cost %v", g.key, e.index, e.floor(), e.cost)
+			}
+		}
+
+		// 3. reference counting
+		if g.refCount != refs[g] {
+			return fmt.Errorf("group %v: refCount %d != live references %d", g.key, g.refCount, refs[g])
+		}
+		if o.mode.RefCount && g.alive != (g.refCount > 0) {
+			return fmt.Errorf("group %v: alive=%v with refCount=%d", g.key, g.alive, g.refCount)
+		}
+
+		// 4. bounds fixpoint
+		if o.mode.Bound {
+			want := infinity
+			if g.hasBest {
+				want = g.bestCost
+			}
+			if mx := g.contribs.Max(); mx < want {
+				want = mx
+			}
+			if !eqOrBothInf(want, g.bound, eps) {
+				return fmt.Errorf("group %v: bound %v != min(best,maxContrib) %v", g.key, g.bound, want)
+			}
+			for k, v := range g.contribs.vals {
+				if k.e.pruned || !k.e.expanded {
+					return fmt.Errorf("group %v: contribution from pruned/unexpanded parent", g.key)
+				}
+				want := infinity
+				pg := k.e.g
+				sib := k.e.children[1-k.s]
+				if pg.bound < infinity {
+					want = slack(pg.bound) - k.e.localCost
+					if sib != nil {
+						want -= sib.floor
+					}
+				}
+				if !eqOrBothInf(want, v, eps) {
+					return fmt.Errorf("group %v: contribution %v != r1/r2 value %v", g.key, v, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func mathMax1(x float64) float64 {
+	if x < 1 && x > -1 {
+		return 1
+	}
+	return math.Abs(x)
+}
+
+func eqOrBothInf(a, b, eps float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= eps*math.Max(1, math.Abs(a))
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relalg"
+)
+
+// groupKey identifies an "OR node": the (Expr, Prop) key shared by the
+// paper's SearchSpace, BestCost and Bound relations.
+type groupKey struct {
+	expr relalg.RelSet
+	prop relalg.Prop
+}
+
+// side distinguishes an entry's child slots.
+type side uint8
+
+const (
+	sideLeft side = iota
+	sideRight
+)
+
+// entry is an "AND node": one SearchSpace tuple plus its PlanCost state.
+type entry struct {
+	id    int // creation ordinal; deterministic tiebreak in multisets
+	g     *group
+	index int // the paper's Index attribute within the group
+	alt   relalg.Alt
+
+	localCost float64
+
+	// children: resolved child groups once the entry has been expanded.
+	expanded bool
+	children [2]*group // [sideLeft, sideRight]; nil where absent
+
+	costKnown bool
+	cost      float64 // LocalCost + Σ children bestCost
+
+	// pruned marks the PlanCost tuple as removed by aggregate selection
+	// or bounding. With Pruning.Suppress the SearchSpace source is also
+	// suppressed (expansion cancelled / child references dropped).
+	pruned bool
+	// refHeld reports whether this entry currently holds reference
+	// counts on its children (RefCount mode bookkeeping).
+	refHeld bool
+
+	// worklist dedup flags
+	recostQueued  bool
+	contribQueued bool
+
+	touchEpoch uint64
+}
+
+// floor is a certified lower bound on the entry's eventual (true) plan
+// cost: its local cost plus the floors of its children. Crucially it never
+// reads a child's BestCost — during pipelined execution a BestCost can be
+// transiently inflated (the child's cheap plans not yet costed), and an
+// inflated value inside a lower bound would make pruning unsound. Floors
+// are monotone up the expression DAG and converge to the exact plan cost
+// once the subtree is fully expanded and costed.
+func (e *entry) floor() float64 {
+	f := e.localCost
+	for _, c := range e.children {
+		if c != nil {
+			f += c.floor
+		}
+	}
+	return f
+}
+
+// parentRef records that a parent entry demanded this group as one of its
+// children — the reverse edges along which BestCost deltas propagate
+// upward and bound contributions propagate downward.
+type parentRef struct {
+	e *entry
+	s side
+}
+
+// group is an "OR node" with the aggregate state of rules R9–R10 (BestCost)
+// and r1–r4 (Bound).
+type group struct {
+	key     groupKey
+	entries []*entry
+
+	// costs is the min-aggregate's internal state: an ordered multiset
+	// over every computed PlanCost, including pruned ones (§4.1: "the
+	// aggregate operator preserves all the computed, even pruned,
+	// PlanCost tuples ... so it can find the next best value").
+	costs costMultiset
+
+	hasBest  bool
+	bestCost float64
+
+	// refCount counts live parent references (plus one pin for the
+	// root). alive == refCount > 0 when RefCount mode is active.
+	refCount int
+	alive    bool
+
+	parents []parentRef
+
+	// bound is the recursive Bound relation value (+inf when inactive);
+	// contribs is the MaxBound aggregate over parent-bound contributions.
+	bound    float64
+	contribs boundContribs
+
+	// floor is a certified lower bound on the cost of any plan this group
+	// can ever produce: min over entries of entry.floor(). It gates every
+	// suppression side effect (reference release, expansion
+	// cancellation), which keeps pruning sound against transiently
+	// inflated BestCost values; see engine.go.
+	floor float64
+
+	reconcileQueued bool
+	boundQueued     bool
+
+	touchEpoch uint64
+}
+
+// ---- ordered cost multiset ----
+
+// costItem is one PlanCost value inside the aggregate.
+type costItem struct {
+	cost float64
+	e    *entry
+}
+
+// costMultiset is an ordered multiset of (cost, entry) pairs, sorted by
+// cost then entry id. It supports the delete-minimum / next-best recovery
+// the paper's extended aggregation operators require. Group fan-in is small
+// (tens of alternatives), so a sorted slice with binary search is both
+// simple and fast.
+type costMultiset struct {
+	items []costItem
+}
+
+func (m *costMultiset) search(c float64, id int) int {
+	return sort.Search(len(m.items), func(i int) bool {
+		it := m.items[i]
+		if it.cost != c {
+			return it.cost > c
+		}
+		return it.e.id >= id
+	})
+}
+
+// Insert adds a (cost, entry) pair.
+func (m *costMultiset) Insert(e *entry, c float64) {
+	i := m.search(c, e.id)
+	m.items = append(m.items, costItem{})
+	copy(m.items[i+1:], m.items[i:])
+	m.items[i] = costItem{cost: c, e: e}
+}
+
+// Remove deletes the pair previously inserted for e at cost c.
+func (m *costMultiset) Remove(e *entry, c float64) {
+	i := m.search(c, e.id)
+	if i >= len(m.items) || m.items[i].e != e {
+		panic("core: costMultiset.Remove of absent item")
+	}
+	m.items = append(m.items[:i], m.items[i+1:]...)
+}
+
+// Min returns the least item, or ok=false when empty.
+func (m *costMultiset) Min() (costItem, bool) {
+	if len(m.items) == 0 {
+		return costItem{}, false
+	}
+	return m.items[0], true
+}
+
+// Len returns the number of stored values.
+func (m *costMultiset) Len() int { return len(m.items) }
+
+// ---- bound contributions (the MaxBound aggregate of rule r3) ----
+
+// contribKey identifies one ParentBound derivation: a parent entry and
+// which of its child slots this group occupies.
+type contribKey struct {
+	e *entry
+	s side
+}
+
+// boundContribs maintains the per-group ParentBound values and their max.
+// As with costMultiset, all inputs are retained so deletions and updates
+// can recompute the aggregate exactly (§4.3).
+type boundContribs struct {
+	vals map[contribKey]float64
+}
+
+// Set installs or updates a contribution and reports the new maximum.
+func (b *boundContribs) Set(k contribKey, v float64) {
+	if b.vals == nil {
+		b.vals = map[contribKey]float64{}
+	}
+	b.vals[k] = v
+}
+
+// Delete removes a contribution if present.
+func (b *boundContribs) Delete(k contribKey) {
+	delete(b.vals, k)
+}
+
+// Max returns the MaxBound value. A group with no registered parent slots
+// (the root, or a group all of whose parents are suppressed) is
+// unconstrained from above: +inf. Likewise any single +inf slot (a parent
+// whose own bound is not yet finite) makes the maximum +inf — a plan is
+// viable if it is viable for ANY parent, so one unconstrained parent means
+// no constraint at all.
+func (b *boundContribs) Max() float64 {
+	if len(b.vals) == 0 {
+		return math.Inf(1)
+	}
+	max := math.Inf(-1)
+	for _, v := range b.vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// ---- worklists ----
+
+// task is one pending delta evaluation.
+type task func()
+
+// taskQueue is a FIFO queue for cost/bound/reference deltas.
+type taskQueue struct {
+	items []task
+	head  int
+}
+
+func (q *taskQueue) push(t task) { q.items = append(q.items, t) }
+
+func (q *taskQueue) pop() (task, bool) {
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return nil, false
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	return t, true
+}
+
+// taskStack holds expansion tasks. By default it is a LIFO stack —
+// depth-first exploration completes one full plan quickly, seeding the
+// pruning thresholds — but it can run as a FIFO queue for the
+// breadth-first search-order ablation.
+type taskStack struct {
+	items []task
+	head  int
+	fifo  bool
+}
+
+func (s *taskStack) push(t task) { s.items = append(s.items, t) }
+
+func (s *taskStack) pop() (task, bool) {
+	if s.fifo {
+		if s.head >= len(s.items) {
+			s.items = s.items[:0]
+			s.head = 0
+			return nil, false
+		}
+		t := s.items[s.head]
+		s.items[s.head] = nil
+		s.head++
+		return t, true
+	}
+	n := len(s.items)
+	if n <= s.head {
+		return nil, false
+	}
+	t := s.items[n-1]
+	s.items[n-1] = nil
+	s.items = s.items[:n-1]
+	return t, true
+}

@@ -1,0 +1,194 @@
+package deltalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the incremental view operators: selection/projection
+// (Map), equi-join, and the min-aggregate with next-best recovery. Each
+// operator subscribes to its inputs and emits deltas into its output
+// relation through the engine queue, so arbitrarily recursive rule graphs
+// evaluate to fixpoint by semi-naive propagation.
+
+// MapFunc transforms an input tuple into zero or more output tuples.
+// It must be deterministic: deletions replay it to retract exactly what the
+// corresponding insertion produced.
+type MapFunc func(Tuple) []Tuple
+
+type mapOp struct {
+	eng *Engine
+	out *Relation
+	fn  MapFunc
+}
+
+// Map registers a selection/projection/function rule: out ⊇ fn(in).
+func (e *Engine) Map(in *Relation, out *Relation, fn MapFunc) {
+	op := &mapOp{eng: e, out: out, fn: fn}
+	in.subs = append(in.subs, op)
+}
+
+func (m *mapOp) onDelta(_ *Relation, d Delta) {
+	for _, t := range m.fn(d.Tuple) {
+		m.eng.Enqueue(m.out, Delta{Tuple: t, Count: d.Count})
+	}
+}
+
+// JoinFunc combines a left and right tuple into zero or more output tuples.
+type JoinFunc func(l, r Tuple) []Tuple
+
+type joinOp struct {
+	eng          *Engine
+	left, right  *Relation
+	lcols, rcols []int
+	out          *Relation
+	fn           JoinFunc
+
+	lIndex map[string][]Tuple
+	rIndex map[string][]Tuple
+}
+
+// Join registers an incremental equi-join: tuples of left and right match
+// when their key columns agree; fn forms output tuples. The operator
+// maintains hash indexes on both sides and applies the standard delta
+// rules: Δout = ΔL⋈R ∪ L⋈ΔR (ΔL⋈ΔR is covered because indexes are updated
+// before probing the opposite side).
+func (e *Engine) Join(left, right *Relation, lcols, rcols []int, out *Relation, fn JoinFunc) {
+	if len(lcols) != len(rcols) {
+		panic("deltalog: join key arity mismatch")
+	}
+	op := &joinOp{
+		eng: e, left: left, right: right,
+		lcols: lcols, rcols: rcols, out: out, fn: fn,
+		lIndex: map[string][]Tuple{}, rIndex: map[string][]Tuple{},
+	}
+	left.subs = append(left.subs, op)
+	right.subs = append(right.subs, op)
+}
+
+func (j *joinOp) onDelta(src *Relation, d Delta) {
+	if src == j.left {
+		k := d.Tuple.Key(j.lcols)
+		j.lIndex[k] = applyIndex(j.lIndex[k], d)
+		for _, r := range j.rIndex[k] {
+			for _, t := range j.fn(d.Tuple, r) {
+				j.eng.Enqueue(j.out, Delta{Tuple: t, Count: d.Count})
+			}
+		}
+		return
+	}
+	k := d.Tuple.Key(j.rcols)
+	j.rIndex[k] = applyIndex(j.rIndex[k], d)
+	for _, l := range j.lIndex[k] {
+		for _, t := range j.fn(l, d.Tuple) {
+			j.eng.Enqueue(j.out, Delta{Tuple: t, Count: d.Count})
+		}
+	}
+}
+
+func applyIndex(bucket []Tuple, d Delta) []Tuple {
+	if d.Count > 0 {
+		return append(bucket, d.Tuple.clone())
+	}
+	key := d.Tuple.Key(allCols(len(d.Tuple)))
+	for i, t := range bucket {
+		if t.Key(allCols(len(t))) == key {
+			return append(bucket[:i], bucket[i+1:]...)
+		}
+	}
+	return bucket
+}
+
+// ---- min/max aggregate with next-best recovery ----
+
+type aggKind int
+
+// Aggregate kinds.
+const (
+	AggMin aggKind = iota
+	AggMax
+)
+
+type groupAggOp struct {
+	eng      *Engine
+	kind     aggKind
+	groupBy  []int
+	valCol   int
+	out      *Relation
+	groups   map[string]*aggGroup
+	emitted  map[string]int64
+	hasEmit  map[string]bool
+	groupLen int
+}
+
+type aggGroup struct {
+	key  Tuple   // group-by values
+	vals []int64 // ordered multiset of all input values (retained, §4.1)
+}
+
+// GroupExtreme registers an incremental min (or max) aggregate:
+// out(groupBy..., extreme) with one output tuple per group. The operator
+// retains every input value in an ordered multiset, so when the current
+// extremum is deleted it emits an update to the next-best value — the
+// extended aggregation operator of §4.1.
+func (e *Engine) GroupExtreme(in *Relation, out *Relation, groupBy []int, valCol int, kind aggKind) {
+	op := &groupAggOp{
+		eng: e, kind: kind, groupBy: groupBy, valCol: valCol, out: out,
+		groups:   map[string]*aggGroup{},
+		emitted:  map[string]int64{},
+		hasEmit:  map[string]bool{},
+		groupLen: len(groupBy),
+	}
+	in.subs = append(in.subs, op)
+}
+
+func (a *groupAggOp) onDelta(_ *Relation, d Delta) {
+	k := d.Tuple.Key(a.groupBy)
+	g := a.groups[k]
+	if g == nil {
+		key := make(Tuple, a.groupLen)
+		for i, c := range a.groupBy {
+			key[i] = d.Tuple[c]
+		}
+		g = &aggGroup{key: key}
+		a.groups[k] = g
+	}
+	v := d.Tuple[a.valCol]
+	if d.Count > 0 {
+		i := sort.Search(len(g.vals), func(i int) bool { return g.vals[i] >= v })
+		g.vals = append(g.vals, 0)
+		copy(g.vals[i+1:], g.vals[i:])
+		g.vals[i] = v
+	} else {
+		i := sort.Search(len(g.vals), func(i int) bool { return g.vals[i] >= v })
+		if i >= len(g.vals) || g.vals[i] != v {
+			panic(fmt.Sprintf("deltalog: aggregate deletion of absent value %d", v))
+		}
+		g.vals = append(g.vals[:i], g.vals[i+1:]...)
+	}
+	a.refresh(k, g)
+}
+
+func (a *groupAggOp) refresh(k string, g *aggGroup) {
+	var cur int64
+	have := len(g.vals) > 0
+	if have {
+		if a.kind == AggMin {
+			cur = g.vals[0]
+		} else {
+			cur = g.vals[len(g.vals)-1]
+		}
+	}
+	prev, had := a.emitted[k], a.hasEmit[k]
+	if had && (!have || prev != cur) {
+		old := append(g.key.clone(), prev)
+		a.eng.Enqueue(a.out, Delta{Tuple: old, Count: -1})
+		a.hasEmit[k] = false
+	}
+	if have && (!had || prev != cur) {
+		now := append(g.key.clone(), cur)
+		a.eng.Enqueue(a.out, Delta{Tuple: now, Count: 1})
+		a.emitted[k] = cur
+		a.hasEmit[k] = true
+	}
+}

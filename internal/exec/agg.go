@@ -1,0 +1,123 @@
+package exec
+
+import "sort"
+
+// AggSpecExec describes a hash aggregation over the join output.
+type AggSpecExec struct {
+	GroupBy       []int // column offsets in the input row
+	Sums          []int
+	CountAll      bool
+	CountDistinct []int
+}
+
+type hashAggOp struct {
+	in   Iterator
+	spec AggSpecExec
+	out  []Row
+	pos  int
+}
+
+type aggState struct {
+	key      Row
+	sums     []int64
+	count    int64
+	distinct []map[int64]struct{}
+}
+
+// NewHashAgg returns a blocking hash aggregation. Output rows are the
+// group-by columns followed by SUM values, COUNT(*) if requested, then
+// COUNT(DISTINCT) values, in deterministic (sorted group key) order.
+func NewHashAgg(in Iterator, spec AggSpecExec) Iterator {
+	return &hashAggOp{in: in, spec: spec}
+}
+
+func (a *hashAggOp) Open() error {
+	groups := map[string]*aggState{}
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	for {
+		r, ok, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(Row, len(a.spec.GroupBy))
+		for i, c := range a.spec.GroupBy {
+			key[i] = r[c]
+		}
+		ks := keyString(key)
+		st := groups[ks]
+		if st == nil {
+			st = &aggState{
+				key:      key,
+				sums:     make([]int64, len(a.spec.Sums)),
+				distinct: make([]map[int64]struct{}, len(a.spec.CountDistinct)),
+			}
+			for i := range st.distinct {
+				st.distinct[i] = map[int64]struct{}{}
+			}
+			groups[ks] = st
+		}
+		for i, c := range a.spec.Sums {
+			st.sums[i] += r[c]
+		}
+		st.count++
+		for i, c := range a.spec.CountDistinct {
+			st.distinct[i][r[c]] = struct{}{}
+		}
+	}
+	if err := a.in.Close(); err != nil {
+		return err
+	}
+	a.out = a.out[:0]
+	for _, st := range groups {
+		row := append(Row(nil), st.key...)
+		row = append(row, st.sums...)
+		if a.spec.CountAll {
+			row = append(row, st.count)
+		}
+		for _, d := range st.distinct {
+			row = append(row, int64(len(d)))
+		}
+		a.out = append(a.out, row)
+	}
+	sort.Slice(a.out, func(i, j int) bool { return rowLess(a.out[i], a.out[j]) })
+	a.pos = 0
+	return nil
+}
+
+func (a *hashAggOp) Next() (Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+func (a *hashAggOp) Close() error { a.out = nil; return nil }
+
+func keyString(r Row) string {
+	b := make([]byte, 0, len(r)*8)
+	for _, v := range r {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+func rowLess(a, b Row) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/relalg"
+)
+
+// RunStats accumulates actual output cardinalities per subexpression during
+// execution. The adaptive layer compares them with the optimizer's
+// estimates and feeds the ratios back as cardinality updates.
+type RunStats struct {
+	Cards map[relalg.RelSet]*int64
+}
+
+// Card returns the observed cardinality of a subexpression.
+func (s *RunStats) Card(set relalg.RelSet) (int64, bool) {
+	if p, ok := s.Cards[set]; ok {
+		return *p, true
+	}
+	return 0, false
+}
+
+// Compiler turns a physical plan into an iterator tree over concrete data.
+type Compiler struct {
+	Q   *relalg.Query
+	Cat *catalog.Catalog
+	// Data overrides the row source per query relation; when nil (or when
+	// it returns nil) the catalog table's rows are used. The stream layer
+	// uses this to execute over window buffers.
+	Data func(rel int) [][]int64
+}
+
+// Compile builds the iterator tree for plan, wiring a cardinality counter
+// onto every scan and join operator, and applying the query's aggregation
+// (if any) on top. It returns the root iterator and the stats collector.
+func (c *Compiler) Compile(plan *relalg.Plan) (Iterator, *RunStats, error) {
+	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
+	it, schema, err := c.compile(plan, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Q.Agg != nil {
+		spec := AggSpecExec{CountAll: c.Q.Agg.CountAll}
+		for _, col := range c.Q.Agg.GroupBy {
+			off, err := colOffset(schema, col)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.GroupBy = append(spec.GroupBy, off)
+		}
+		for _, col := range c.Q.Agg.Sums {
+			off, err := colOffset(schema, col)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Sums = append(spec.Sums, off)
+		}
+		for _, col := range c.Q.Agg.CountDistinct {
+			off, err := colOffset(schema, col)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.CountDistinct = append(spec.CountDistinct, off)
+		}
+		it = NewHashAgg(it, spec)
+	}
+	return it, stats, nil
+}
+
+func (c *Compiler) rows(rel int) ([][]int64, error) {
+	if c.Data != nil {
+		if rows := c.Data(rel); rows != nil {
+			return rows, nil
+		}
+	}
+	t, err := c.Cat.Table(c.Q.Rels[rel].Table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Rows, nil
+}
+
+func (c *Compiler) tableArity(rel int) (int, error) {
+	t, err := c.Cat.Table(c.Q.Rels[rel].Table)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.ColNames), nil
+}
+
+// compile returns the iterator and its output schema (the ColID of every
+// output column, in order).
+func (c *Compiler) compile(p *relalg.Plan, stats *RunStats) (Iterator, []relalg.ColID, error) {
+	switch p.Log {
+	case relalg.LogScan:
+		rows, err := c.rows(p.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		arity, err := c.tableArity(p.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := make([]relalg.ColID, arity)
+		for i := range schema {
+			schema[i] = relalg.ColID{Rel: p.Rel, Off: i}
+		}
+		preds, err := c.scanPreds(p.Rel, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		var it Iterator = NewScan(rows, preds)
+		if p.Prop.Kind == relalg.PropSorted {
+			// Index-order (or clustered-order) retrieval: the
+			// in-memory substitute is an explicit sort of the
+			// filtered rows.
+			off, err := colOffset(schema, p.Prop.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			it = NewSort(it, off)
+		} else if p.Phy == relalg.PhyIndexScan {
+			off, err := colOffset(schema, p.IdxCol)
+			if err != nil {
+				return nil, nil, err
+			}
+			it = NewSort(it, off)
+		}
+		return c.counted(it, p.Expr, stats), schema, nil
+
+	case relalg.LogEnforce:
+		child, schema, err := c.compile(p.Left, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		off, err := colOffset(schema, p.Prop.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewSort(child, off), schema, nil
+
+	case relalg.LogJoin:
+		jp := c.Q.Joins[p.Pred]
+		if p.Phy == relalg.PhyIndexNLJoin {
+			return c.compileIndexNL(p, jp, stats)
+		}
+		left, ls, err := c.compile(p.Left, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rs, err := c.compile(p.Right, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := append(append([]relalg.ColID(nil), ls...), rs...)
+		lcol, rcol := jp.L, jp.R
+		if !p.Left.Expr.Has(lcol.Rel) {
+			lcol, rcol = rcol, lcol
+		}
+		lk, err := colOffset(ls, lcol)
+		if err != nil {
+			return nil, nil, err
+		}
+		rk, err := colOffset(rs, rcol)
+		if err != nil {
+			return nil, nil, err
+		}
+		var it Iterator
+		switch p.Phy {
+		case relalg.PhyHashJoin:
+			// Hash on the compound key of every cross equi-predicate;
+			// only non-equi filters remain as residuals.
+			lKeys, rKeys := []int{lk}, []int{rk}
+			for pi, ojp := range c.Q.Joins {
+				if pi == p.Pred || !ojp.Crosses(p.Left.Expr, p.Right.Expr) {
+					continue
+				}
+				ol, or := ojp.L, ojp.R
+				if !p.Left.Expr.Has(ol.Rel) {
+					ol, or = or, ol
+				}
+				lo, err := colOffset(ls, ol)
+				if err != nil {
+					return nil, nil, err
+				}
+				ro, err := colOffset(rs, or)
+				if err != nil {
+					return nil, nil, err
+				}
+				lKeys = append(lKeys, lo)
+				rKeys = append(rKeys, ro)
+			}
+			residual, err := c.filterPredsOnly(p, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			it = NewHashJoin(left, right, lKeys, rKeys, len(ls), residual)
+		case relalg.PhyMergeJoin:
+			residual, err := c.residualPreds(p, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			it = NewMergeJoin(left, right, lk, rk, residual)
+		default:
+			return nil, nil, fmt.Errorf("exec: unexpected join operator %v", p.Phy)
+		}
+		return c.counted(it, p.Expr, stats), schema, nil
+	}
+	return nil, nil, fmt.Errorf("exec: unknown logical operator %v", p.Log)
+}
+
+func (c *Compiler) compileIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *RunStats) (Iterator, []relalg.ColID, error) {
+	// Plan convention (paper Table 1): left child is the indexed inner
+	// (a single base relation), right child is the outer.
+	inner := p.Left.Expr.SingleMember()
+	innerArity, err := c.tableArity(inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerSchema := make([]relalg.ColID, innerArity)
+	for i := range innerSchema {
+		innerSchema[i] = relalg.ColID{Rel: inner, Off: i}
+	}
+	innerRows, err := c.rows(inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerPreds, err := c.scanPreds(inner, innerSchema)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerCol, outerCol := jp.L, jp.R
+	if innerCol.Rel != inner {
+		innerCol, outerCol = outerCol, innerCol
+	}
+	index := BuildIndex(innerRows, innerCol.Off, innerPreds)
+
+	outer, os, err := c.compile(p.Right, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok, err := colOffset(os, outerCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append([]relalg.ColID(nil), innerSchema...), os...)
+	residual, err := c.residualPreds(p, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	it := NewIndexNLJoin(outer, index, ok, innerArity, residual)
+	return c.counted(it, p.Expr, stats), schema, nil
+}
+
+func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iterator {
+	n, ok := stats.Cards[set]
+	if !ok {
+		n = new(int64)
+		stats.Cards[set] = n
+	}
+	return NewCounter(it, n)
+}
+
+// scanPreds compiles the local selection predicates of a relation against a
+// schema.
+func (c *Compiler) scanPreds(rel int, schema []relalg.ColID) ([]PredFn, error) {
+	var preds []PredFn
+	for _, pr := range c.Q.ScanPredsOf(rel) {
+		off, err := colOffset(schema, pr.Col)
+		if err != nil {
+			return nil, err
+		}
+		op, val := pr.Op, pr.Val
+		preds = append(preds, func(r Row) bool { return op.Eval(r[off], val) })
+	}
+	return preds, nil
+}
+
+// filterPredsOnly compiles just the non-equi residual filters crossing this
+// join (used when all equi predicates are part of the hash key).
+func (c *Compiler) filterPredsOnly(p *relalg.Plan, schema []relalg.ColID) ([]PredFn, error) {
+	var preds []PredFn
+	lset, rset := p.Left.Expr, p.Right.Expr
+	for _, f := range c.Q.Filters {
+		crosses := (lset.Has(f.L.Rel) && rset.Has(f.R.Rel)) || (rset.Has(f.L.Rel) && lset.Has(f.R.Rel))
+		if !crosses {
+			continue
+		}
+		lo, err := colOffset(schema, f.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, f.R)
+		if err != nil {
+			return nil, err
+		}
+		op, off := f.Op, f.Off
+		preds = append(preds, func(r Row) bool { return op.Eval(r[lo], r[ro]+off) })
+	}
+	return preds, nil
+}
+
+// residualPreds compiles the join predicates and residual filters that
+// first become checkable at this join (both sides present, not the primary
+// equi-key).
+func (c *Compiler) residualPreds(p *relalg.Plan, schema []relalg.ColID) ([]PredFn, error) {
+	var preds []PredFn
+	lset, rset := p.Left.Expr, p.Right.Expr
+	for pi, jp := range c.Q.Joins {
+		if pi == p.Pred || !jp.Crosses(lset, rset) {
+			continue
+		}
+		lo, err := colOffset(schema, jp.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, jp.R)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, func(r Row) bool { return r[lo] == r[ro] })
+	}
+	for _, f := range c.Q.Filters {
+		crosses := (lset.Has(f.L.Rel) && rset.Has(f.R.Rel)) || (rset.Has(f.L.Rel) && lset.Has(f.R.Rel))
+		if !crosses {
+			continue
+		}
+		lo, err := colOffset(schema, f.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, f.R)
+		if err != nil {
+			return nil, err
+		}
+		op, off := f.Op, f.Off
+		preds = append(preds, func(r Row) bool { return op.Eval(r[lo], r[ro]+off) })
+	}
+	return preds, nil
+}
+
+func colOffset(schema []relalg.ColID, c relalg.ColID) (int, error) {
+	for i, s := range schema {
+		if s == c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: column %+v not in schema %+v", c, schema)
+}

@@ -1,0 +1,187 @@
+package relalg
+
+// This file implements the shared plan-space enumerator: the paper's
+// Fn_split built-in (plus Fn_isleaf, which is RelSet.IsSingle). Given an
+// (expression, property) pair it produces the full list of alternative
+// "AND nodes" — SearchSpace tuples — for that "OR node". All three optimizer
+// architectures call this same function, so they explore identical spaces.
+
+// SchemaInfo supplies the physical-design facts the enumerator needs about
+// base tables. internal/cost.Model implements it from the catalog.
+type SchemaInfo interface {
+	// IndexCols returns the column offsets (within the base table of
+	// query relation rel) that carry an index, in ascending order.
+	IndexCols(rel int) []int
+	// SortedCol returns the column offset the base table of relation rel
+	// is physically sorted by, or -1 if none.
+	SortedCol(rel int) int
+}
+
+// SpaceOptions selects which physical alternatives the enumerator generates.
+// The defaults enable the full space used in the paper's evaluation
+// (pipelined hash join, sort-merge join, index nested-loops join, sort
+// enforcers, bushy trees). LeftDeepOnly restricts to left-linear expressions,
+// the System-R variant the paper mentions in footnote 1; it is exercised by
+// the ablation benchmarks.
+type SpaceOptions struct {
+	HashJoin     bool
+	MergeJoin    bool
+	IndexNL      bool
+	SortEnforcer bool
+	LeftDeepOnly bool
+}
+
+// DefaultSpace returns the full plan space configuration.
+func DefaultSpace() SpaceOptions {
+	return SpaceOptions{HashJoin: true, MergeJoin: true, IndexNL: true, SortEnforcer: true}
+}
+
+// Alt is one alternative plan for a group: a SearchSpace tuple minus the
+// (Expr, Prop, Index) key, which the caller supplies. For scans only Rel is
+// meaningful; for joins Pred indexes q.Joins and names the primary equi-join
+// predicate (residual cross predicates are applied as filters); for the sort
+// enforcer only the left child is used.
+type Alt struct {
+	Log    LogOp
+	Phy    PhyOp
+	Rel    int   // scans: relation ordinal
+	Pred   int   // joins: index into Query.Joins of the primary predicate
+	IdxCol ColID // index scans: the key column
+
+	LExpr RelSet
+	LProp Prop
+	RExpr RelSet
+	RProp Prop
+}
+
+// Unary reports whether the alternative has exactly one child group.
+func (a Alt) Unary() bool { return a.Log == LogEnforce }
+
+// Leaf reports whether the alternative has no child groups.
+func (a Alt) Leaf() bool { return a.Log == LogScan }
+
+// Split enumerates the alternatives for the group (s, p). The result order
+// is deterministic: partitions ascend by left-bitmap value, operators in a
+// fixed order, so every optimizer assigns identical Index values and metrics
+// are comparable across architectures.
+func Split(q *Query, schema SchemaInfo, opts SpaceOptions, s RelSet, p Prop) []Alt {
+	if s.IsSingle() {
+		return splitLeaf(q, schema, opts, s.SingleMember(), p)
+	}
+	var alts []Alt
+	// Enumerate ordered connected partitions (L, R). Submask enumeration
+	// yields each unordered partition twice (once per orientation), which
+	// is what we want: hash join is asymmetric (build left / probe right)
+	// and index NL requires the inner on the left (paper Table 1).
+	s.ProperSubsets(func(l RelSet) {
+		r := s.Without(l)
+		if opts.LeftDeepOnly && !r.IsSingle() {
+			return
+		}
+		if !q.Connected(l) || !q.Connected(r) {
+			return
+		}
+		cross := q.CrossPreds(l, r)
+		if len(cross) == 0 {
+			return // no Cartesian products
+		}
+		primary := cross[0]
+		if opts.HashJoin && p.Kind == PropAny {
+			alts = append(alts, Alt{
+				Log: LogJoin, Phy: PhyHashJoin, Pred: primary,
+				LExpr: l, LProp: AnyProp, RExpr: r, RProp: AnyProp,
+			})
+		}
+		if opts.MergeJoin {
+			for _, pi := range cross {
+				jp := q.Joins[pi]
+				lcol, rcol := jp.L, jp.R
+				if !l.Has(lcol.Rel) {
+					lcol, rcol = rcol, lcol
+				}
+				// The merge output is sorted on both equated
+				// columns; it belongs in the Any group and in
+				// the Sorted groups of either column.
+				if p.Kind == PropAny || (p.Kind == PropSorted && (p.Col == lcol || p.Col == rcol)) {
+					alts = append(alts, Alt{
+						Log: LogJoin, Phy: PhyMergeJoin, Pred: pi,
+						LExpr: l, LProp: Sorted(lcol), RExpr: r, RProp: Sorted(rcol),
+					})
+				}
+			}
+		}
+		if opts.IndexNL && p.Kind == PropAny && l.IsSingle() {
+			inner := l.SingleMember()
+			idxCols := schema.IndexCols(inner)
+			for _, pi := range cross {
+				jp := q.Joins[pi]
+				innerCol := jp.L
+				if innerCol.Rel != inner {
+					innerCol = jp.R
+				}
+				if innerCol.Rel != inner || !hasInt(idxCols, innerCol.Off) {
+					continue
+				}
+				alts = append(alts, Alt{
+					Log: LogJoin, Phy: PhyIndexNLJoin, Pred: pi,
+					LExpr: l, LProp: Indexed(innerCol), RExpr: r, RProp: AnyProp,
+				})
+			}
+		}
+	})
+	if opts.SortEnforcer && p.Kind == PropSorted {
+		alts = append(alts, Alt{
+			Log: LogEnforce, Phy: PhySort,
+			LExpr: s, LProp: AnyProp,
+		})
+	}
+	return alts
+}
+
+func splitLeaf(q *Query, schema SchemaInfo, opts SpaceOptions, rel int, p Prop) []Alt {
+	idxCols := schema.IndexCols(rel)
+	switch p.Kind {
+	case PropAny:
+		alts := []Alt{{Log: LogScan, Phy: PhyTableScan, Rel: rel}}
+		// Access-path selection: an index scan competes under Any when
+		// a local predicate on the key column can restrict it.
+		for _, pr := range q.ScanPredsOf(rel) {
+			if hasInt(idxCols, pr.Col.Off) {
+				alts = append(alts, Alt{Log: LogScan, Phy: PhyIndexScan, Rel: rel, IdxCol: pr.Col})
+				break
+			}
+		}
+		return alts
+	case PropSorted:
+		if p.Col.Rel != rel {
+			return nil
+		}
+		var alts []Alt
+		if schema.SortedCol(rel) == p.Col.Off {
+			alts = append(alts, Alt{Log: LogScan, Phy: PhyTableScan, Rel: rel})
+		}
+		if hasInt(idxCols, p.Col.Off) {
+			alts = append(alts, Alt{Log: LogScan, Phy: PhyIndexScan, Rel: rel, IdxCol: p.Col})
+		}
+		if opts.SortEnforcer {
+			alts = append(alts, Alt{Log: LogEnforce, Phy: PhySort,
+				LExpr: Single(rel), LProp: AnyProp})
+		}
+		return alts
+	case PropIndexed:
+		if p.Col.Rel != rel || !hasInt(idxCols, p.Col.Off) {
+			return nil
+		}
+		return []Alt{{Log: LogScan, Phy: PhyIndexScan, Rel: rel, IdxCol: p.Col}}
+	}
+	return nil
+}
+
+func hasInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

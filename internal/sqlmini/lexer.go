@@ -1,0 +1,133 @@
+// Package sqlmini is a compact SQL front-end for the optimizer: it parses
+// single-block SELECT statements — the query class the paper's optimizer
+// handles — and resolves them against a catalog into relalg.Query values.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT <item> [, <item>...]
+//	FROM   <table> [AS] <alias> [, ...]
+//	[WHERE <conj> [AND <conj>...]]
+//	[GROUP BY <col> [, <col>...]]
+//
+//	item := * | col | SUM(col) | COUNT(*) | COUNT(DISTINCT col)
+//	conj := col <cmp> col [<+|-> int] | col <cmp> int | col = 'string'
+//	cmp  := = | <> | != | < | <= | > | >=
+//	col  := alias.column | column        (unambiguous names may drop the alias)
+//
+// String literals are resolved through an optional dictionary (the
+// workload's integer encodings); dates may be written as integers or
+// 'YYYY-MM-DD' and are encoded with the supplied date function.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input; errors carry byte offsets.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '-' && l.pos == start) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+	l.pos++ // closing quote
+	return nil
+}
+
+var symbols = []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-"}
+
+func (l *lexer) lexSymbol() error {
+	rest := l.src[l.pos:]
+	for _, s := range symbols {
+		if strings.HasPrefix(rest, s) {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: s, pos: l.pos})
+			l.pos += len(s)
+			return nil
+		}
+	}
+	return fmt.Errorf("sqlmini: unexpected character %q at offset %d", l.src[l.pos], l.pos)
+}

@@ -1,0 +1,182 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/relalg"
+	"repro/internal/tpch"
+	"repro/internal/volcano"
+)
+
+func tpchOpts() Options {
+	return Options{
+		Dict: map[string]int64{
+			"MACHINERY": tpch.SegMachinery,
+			"BUILDING":  tpch.SegBuilding,
+			"ASIA":      2,
+			"R":         tpch.FlagR,
+		},
+		Date: func(y, m, d int) int64 { return tpch.Date(y, m, d) },
+	}
+}
+
+func parseOK(t *testing.T, sql string) *relalg.Query {
+	t.Helper()
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.001, Seed: 42})
+	q, err := Parse(sql, cat, tpchOpts())
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return q
+}
+
+func TestParseQ3SEquivalentToBuilder(t *testing.T) {
+	sql := `SELECT l.l_orderkey, o.o_orderdate, o.o_shippriority
+	        FROM customer c, orders o, lineitem l
+	        WHERE c.c_mktsegment = 'MACHINERY'
+	          AND c.c_custkey = o.o_custkey
+	          AND o.o_orderkey = l.l_orderkey
+	          AND o.o_orderdate < '1995-03-15'
+	          AND l.l_shipdate > '1995-03-15'`
+	q := parseOK(t, sql)
+	ref := tpch.Q3S()
+	if len(q.Rels) != len(ref.Rels) || len(q.Joins) != len(ref.Joins) || len(q.Scans) != len(ref.Scans) {
+		t.Fatalf("shape differs from builder: %d/%d rels %d/%d joins %d/%d scans",
+			len(q.Rels), len(ref.Rels), len(q.Joins), len(ref.Joins), len(q.Scans), len(ref.Scans))
+	}
+	// The parsed and hand-built queries must optimize to the same cost.
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	mp, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := cost.NewModel(ref, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := volcano.Optimize(mp, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := volcano.Optimize(mr, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-9*b.Cost {
+		t.Fatalf("parsed cost %v != builder cost %v", a.Cost, b.Cost)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := parseOK(t, `SELECT n.n_name, SUM(l.l_extendedprice), COUNT(*), COUNT(DISTINCT o.o_custkey)
+		FROM orders o, lineitem l, customer c, nation n
+		WHERE o.o_orderkey = l.l_orderkey AND c.c_custkey = o.o_custkey
+		  AND c.c_nationkey = n.n_nationkey
+		GROUP BY n.n_name`)
+	if q.Agg == nil {
+		t.Fatal("no aggregate spec")
+	}
+	if len(q.Agg.Sums) != 1 || !q.Agg.CountAll || len(q.Agg.CountDistinct) != 1 || len(q.Agg.GroupBy) != 1 {
+		t.Fatalf("agg spec = %+v", q.Agg)
+	}
+}
+
+func TestParseUnqualifiedColumns(t *testing.T) {
+	q := parseOK(t, `SELECT * FROM orders o, lineitem l WHERE o_orderkey = l_orderkey AND o_orderdate < 800`)
+	if len(q.Joins) != 1 || len(q.Scans) != 1 {
+		t.Fatalf("unqualified resolution failed: %+v", q)
+	}
+	if q.Joins[0].L.Rel == q.Joins[0].R.Rel {
+		t.Fatal("join endpoints collapsed")
+	}
+}
+
+func TestParseNonEquiFilterWithOffset(t *testing.T) {
+	q := parseOK(t, `SELECT * FROM orders o1, orders o2, lineitem l
+		WHERE o1.o_custkey = o2.o_custkey AND o1.o_orderkey = l.l_orderkey
+		  AND o1.o_orderdate < o2.o_orderdate - 30`)
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	f := q.Filters[0]
+	if f.Off != -30 || f.Op != relalg.CmpLT {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.001, Seed: 42})
+	bad := map[string]string{
+		"SELECT":                                                                  "expected select item",
+		"SELECT * FROM nosuch":                                                    "unknown table",
+		"SELECT * FROM orders o, orders o":                                        "duplicate alias",
+		"SELECT * FROM orders o WHERE o.zzz = 1":                                  "no column",
+		"SELECT * FROM orders o WHERE o.o_orderkey ~ 1":                           "unexpected character",
+		"SELECT * FROM orders o, lineitem l WHERE o_custkey = 'X'":                "cannot resolve string",
+		"SELECT * FROM orders o, customer c WHERE o_custkey = c_custkey trailing": "trailing input",
+		"SELECT * FROM orders o WHERE o_orderkey = o_custkey":                     "within one relation",
+	}
+	for sql, wantSub := range bad {
+		_, err := Parse(sql, cat, tpchOpts())
+		if err == nil {
+			t.Errorf("accepted %q", sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q does not mention %q", sql, err, wantSub)
+		}
+	}
+}
+
+func TestParsedQueryOptimizesEndToEnd(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	q, err := Parse(`SELECT SUM(l.l_extendedprice) FROM region r, nation n, customer c, orders o, lineitem l, supplier s
+		WHERE r.r_regionkey = n.n_regionkey AND c.c_nationkey = n.n_nationkey
+		  AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+		  AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+		  AND r.r_name = 'ASIA'`, cat, tpchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := core.New(m, relalg.DefaultSpace(), core.PruneAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Expr != q.AllRels() {
+		t.Fatal("plan incomplete")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerStringsAndSymbols(t *testing.T) {
+	toks, err := lex("a.b <= 'x y' <> != 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{tokIdent, tokSymbol, tokIdent, tokSymbol, tokString, tokSymbol, tokSymbol, tokNumber, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count %d, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d kind %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}

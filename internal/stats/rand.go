@@ -1,0 +1,87 @@
+package stats
+
+// Deterministic pseudo-random machinery. The whole repository avoids
+// math/rand so that data generation is reproducible across Go versions: the
+// generators below are fixed algorithms (splitmix64 and a standard Zipf
+// rejection-inversion sampler) whose output can never change under us.
+
+import "math"
+
+// Rand is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator with the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64n returns a uniform int64 in [0, n).
+func (r *Rand) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int64n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Zipf samples integers in [1, n] with P(k) proportional to 1/k^s using
+// inverse-CDF over the precomputed harmonic table (exact, not approximate,
+// which keeps generation deterministic and the skew factor faithful).
+// For s == 0 it degenerates to the uniform distribution, matching the
+// paper's "Zipfian skew factor 0" baseline.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf builds a sampler over [1, n] with exponent s >= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{n: n, cdf: make([]float64, n)}
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+// Sample draws one value in [1, n].
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

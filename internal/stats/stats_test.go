@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collide on first draw")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int64n(3); v < 0 || v >= 3 {
+			t.Fatalf("Int64n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestHistogramExactOnKnownData(t *testing.T) {
+	// 100 values 0..99: FracLE(49) should be ~0.50.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h := BuildHistogram(vals, 10)
+	if h.Min() != 0 || h.Max() != 99 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if d := h.Distinct(); math.Abs(d-100) > 1 {
+		t.Fatalf("distinct = %v", d)
+	}
+	if f := h.FracLE(49); math.Abs(f-0.5) > 0.05 {
+		t.Fatalf("FracLE(49) = %v", f)
+	}
+	if f := h.FracEQ(50); math.Abs(f-0.01) > 0.005 {
+		t.Fatalf("FracEQ(50) = %v", f)
+	}
+	if f := h.FracLE(-5); f != 0 {
+		t.Fatalf("FracLE below min = %v", f)
+	}
+	if f := h.FracLE(1000); f != 1 {
+		t.Fatalf("FracLE above max = %v", f)
+	}
+}
+
+func TestHistogramSkewedData(t *testing.T) {
+	// 90% of values are 7; equi-depth must still estimate EQ well.
+	var vals []int64
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 7)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(100+i))
+	}
+	h := BuildHistogram(vals, 8)
+	if f := h.FracEQ(7); math.Abs(f-0.9) > 0.15 {
+		t.Fatalf("FracEQ(7) = %v, want ~0.9", f)
+	}
+}
+
+// TestHistogramProperties: estimates are monotone in v and bounded in [0,1].
+func TestHistogramProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRand(seed)
+		n := 10 + r.Intn(500)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = r.Int64n(1000)
+		}
+		h := BuildHistogram(vals, 1+r.Intn(16))
+		last := -1.0
+		for v := int64(-10); v <= 1010; v += 15 {
+			f := h.FracLE(v)
+			if f < 0 || f > 1 || f < last-1e-12 {
+				return false
+			}
+			last = f
+			if e := h.FracEQ(v); e < 0 || e > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramEstimatesVsExact checks bounded error against exact counts.
+func TestHistogramEstimatesVsExact(t *testing.T) {
+	r := NewRand(99)
+	n := 2000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.Int64n(200)
+	}
+	h := BuildHistogram(vals, 32)
+	for _, v := range []int64{10, 50, 100, 150, 190} {
+		exact := 0
+		for _, x := range vals {
+			if x <= v {
+				exact++
+			}
+		}
+		if got := h.FracLE(v); math.Abs(got-float64(exact)/float64(n)) > 0.05 {
+			t.Fatalf("FracLE(%d) = %v, exact %v", v, got, float64(exact)/float64(n))
+		}
+	}
+}
+
+func TestFracCmpOperators(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h := BuildHistogram(vals, 10)
+	ge, _ := h.FracCmp(">=", 50)
+	lt, _ := h.FracCmp("<", 50)
+	if math.Abs(ge+lt-1) > 1e-9 {
+		t.Fatalf(">= and < don't partition: %v + %v", ge, lt)
+	}
+	if _, err := h.FracCmp("??", 1); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestZipfUniformAtZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	r := NewRand(5)
+	counts := make([]int, 11)
+	for i := 0; i < 20000; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 1; k <= 10; k++ {
+		if math.Abs(float64(counts[k])-2000) > 300 {
+			t.Fatalf("skew-0 not uniform: counts[%d]=%d", k, counts[k])
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := NewRand(5)
+	head := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if z.Sample(r) <= 10 {
+			head++
+		}
+	}
+	// With s=1 over [1,100], the top 10 values carry ~56% of the mass.
+	if frac := float64(head) / draws; frac < 0.45 || frac > 0.7 {
+		t.Fatalf("head mass = %v, want ~0.56", frac)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(7, 0.5)
+	r := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		if v := z.Sample(r); v < 1 || v > 7 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package systemr
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relalg"
+	"repro/internal/stats"
+	"repro/internal/testkit"
+)
+
+func model(t *testing.T, seed uint64, n int) *cost.Model {
+	t.Helper()
+	r := stats.NewRand(seed)
+	cat := testkit.SyntheticCatalog(r, 3)
+	q := testkit.RandomQuery(r, cat, n)
+	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBottomUpProducesValidPlan(t *testing.T) {
+	m := model(t, 9, 5)
+	res, err := Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Expr != m.Q.AllRels() || res.Cost <= 0 {
+		t.Fatalf("bad result: expr=%v cost=%v", res.Plan.Expr, res.Cost)
+	}
+	// Bottom-up DP costs the whole space: every enumerated alternative
+	// whose children exist is costed.
+	if res.Metrics.CostedAlts == 0 || res.Metrics.Groups == 0 {
+		t.Fatalf("metrics empty: %+v", res.Metrics)
+	}
+}
+
+func TestInterestingOrdersMaterialized(t *testing.T) {
+	// A query whose optimum may use merge joins must materialize Sorted
+	// groups; check the DP table covered more than just Any groups by
+	// comparing group count with the count of connected subsets.
+	m := model(t, 10, 4)
+	res, err := Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	connected := 0
+	all := uint64(m.Q.AllRels())
+	for v := uint64(1); v <= all; v++ {
+		if m.Q.Connected(relalg.RelSet(v)) {
+			connected++
+		}
+	}
+	if res.Metrics.Groups <= connected {
+		t.Fatalf("only %d groups for %d connected subsets: interesting orders missing",
+			res.Metrics.Groups, connected)
+	}
+}
+
+func TestLeftDeepSpaceRestriction(t *testing.T) {
+	m := model(t, 11, 5)
+	full, err := Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := relalg.DefaultSpace()
+	ld.LeftDeepOnly = true
+	left, err := Optimize(m, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Cost < full.Cost-1e-9 {
+		t.Fatalf("left-deep optimum %v beats full space %v", left.Cost, full.Cost)
+	}
+	if left.Metrics.Alts > full.Metrics.Alts {
+		t.Fatal("left-deep space larger than full space")
+	}
+	var check func(p *relalg.Plan)
+	check = func(p *relalg.Plan) {
+		if p == nil {
+			return
+		}
+		if p.Log == relalg.LogJoin && !p.Right.Expr.IsSingle() {
+			t.Fatalf("left-deep plan has bushy join: %s", p.Signature())
+		}
+		check(p.Left)
+		check(p.Right)
+	}
+	check(left.Plan)
+}

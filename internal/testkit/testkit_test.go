@@ -1,0 +1,60 @@
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSyntheticCatalogShape(t *testing.T) {
+	r := stats.NewRand(1)
+	cat := SyntheticCatalog(r, 4)
+	names := cat.Names()
+	if len(names) != 4 {
+		t.Fatalf("tables = %v", names)
+	}
+	for _, n := range names {
+		tb := cat.MustTable(n)
+		if len(tb.ColNames) != ColsPerTable {
+			t.Fatalf("%s arity = %d", n, len(tb.ColNames))
+		}
+		if tb.NumRows < 10 {
+			t.Fatalf("%s rows = %v", n, tb.NumRows)
+		}
+		for c := 0; c < ColsPerTable; c++ {
+			if tb.Cols[c].Distinct < 1 || tb.Cols[c].Hist == nil {
+				t.Fatalf("%s col %d stats missing", n, c)
+			}
+		}
+	}
+}
+
+func TestRandomQueryConnectedAndValid(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := stats.NewRand(seed)
+		cat := SyntheticCatalog(r, 3)
+		n := 2 + r.Intn(6)
+		q := RandomQuery(r, cat, n)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !q.Connected(q.AllRels()) {
+			t.Fatalf("seed %d: query disconnected", seed)
+		}
+		if len(q.Joins) < n-1 {
+			t.Fatalf("seed %d: too few join predicates", seed)
+		}
+	}
+}
+
+func TestRandomConnectedSubset(t *testing.T) {
+	r := stats.NewRand(2)
+	cat := SyntheticCatalog(r, 3)
+	q := RandomQuery(r, cat, 6)
+	for i := 0; i < 50; i++ {
+		s := RandomConnectedSubset(r, q, 2)
+		if s.Count() < 2 || !q.Connected(s) {
+			t.Fatalf("bad subset %v", s)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/relalg"
+)
+
+// This file defines the paper's workload queries over the generated schema
+// (Table 2 and §5). Helper col builds a ColID from a relation ordinal and
+// column offset; the offsets follow the schemas in gen.go.
+
+func col(rel, off int) relalg.ColID { return relalg.ColID{Rel: rel, Off: off} }
+
+// Q3S is the paper's driving example (Example 1): simplified TPC-H Q3 with
+// aggregates removed — customer ⋈ orders ⋈ lineitem.
+func Q3S() *relalg.Query {
+	const (
+		C = iota // customer
+		O        // orders
+		L        // lineitem
+	)
+	q := &relalg.Query{
+		Name: "Q3S",
+		Rels: []relalg.RelRef{
+			{Alias: "C", Table: "customer"},
+			{Alias: "O", Table: "orders"},
+			{Alias: "L", Table: "lineitem"},
+		},
+		Scans: []relalg.ScanPred{
+			{Col: col(C, 2), Op: relalg.CmpEQ, Val: SegMachinery},      // c_mktsegment = 'MACHINERY'
+			{Col: col(O, 2), Op: relalg.CmpLT, Val: Date(1995, 3, 15)}, // o_orderdate < 1995-03-15
+			{Col: col(L, 3), Op: relalg.CmpGT, Val: Date(1995, 3, 15)}, // l_shipdate > 1995-03-15
+		},
+		Joins: []relalg.JoinPred{
+			{L: col(C, 0), R: col(O, 1)}, // c_custkey = o_custkey
+			{L: col(O, 0), R: col(L, 0)}, // o_orderkey = l_orderkey
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Q5 relation ordinals, exported for the Figure 5 expression sweep.
+const (
+	Q5Region = iota
+	Q5Nation
+	Q5Customer
+	Q5Orders
+	Q5Lineitem
+	Q5Supplier
+)
+
+// Q5 is TPC-H Q5 (six-way join with aggregation): revenue by nation within
+// a region and date range.
+func Q5() *relalg.Query {
+	q := q5join("Q5")
+	q.Agg = &relalg.AggSpec{
+		GroupBy: []relalg.ColID{col(Q5Nation, 1)},   // n_name
+		Sums:    []relalg.ColID{col(Q5Lineitem, 5)}, // sum(l_extendedprice)
+	}
+	return q
+}
+
+// Q5S is Q5 with the aggregation removed, as the paper constructs it "to
+// create greater query diversity".
+func Q5S() *relalg.Query { return q5join("Q5S") }
+
+func q5join(name string) *relalg.Query {
+	q := &relalg.Query{
+		Name: name,
+		Rels: []relalg.RelRef{
+			{Alias: "R", Table: "region"},
+			{Alias: "N", Table: "nation"},
+			{Alias: "C", Table: "customer"},
+			{Alias: "O", Table: "orders"},
+			{Alias: "L", Table: "lineitem"},
+			{Alias: "S", Table: "supplier"},
+		},
+		Scans: []relalg.ScanPred{
+			{Col: col(Q5Region, 1), Op: relalg.CmpEQ, Val: 2},                // r_name = 'ASIA'
+			{Col: col(Q5Orders, 2), Op: relalg.CmpGE, Val: Date(1994, 1, 1)}, // o_orderdate >= 1994-01-01
+			{Col: col(Q5Orders, 2), Op: relalg.CmpLT, Val: Date(1995, 1, 1)}, // o_orderdate < 1995-01-01
+		},
+		Joins: []relalg.JoinPred{
+			{L: col(Q5Region, 0), R: col(Q5Nation, 2)},     // r_regionkey = n_regionkey
+			{L: col(Q5Customer, 3), R: col(Q5Nation, 0)},   // c_nationkey = n_nationkey
+			{L: col(Q5Customer, 0), R: col(Q5Orders, 1)},   // c_custkey  = o_custkey
+			{L: col(Q5Orders, 0), R: col(Q5Lineitem, 0)},   // o_orderkey = l_orderkey
+			{L: col(Q5Lineitem, 2), R: col(Q5Supplier, 0)}, // l_suppkey = s_suppkey
+			{L: col(Q5Supplier, 2), R: col(Q5Nation, 0)},   // s_nationkey = n_nationkey
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Q5Expressions returns the five left-deep chain expressions of the
+// Figure 5 sweep: A = REGION⋈NATION, B = CUSTOMER⋈A, C = ORDERS⋈B,
+// D = LINEITEM⋈C, E = SUPPLIER⋈D.
+func Q5Expressions() []struct {
+	Name string
+	Set  relalg.RelSet
+} {
+	a := relalg.Single(Q5Region).Add(Q5Nation)
+	b := a.Add(Q5Customer)
+	c := b.Add(Q5Orders)
+	d := c.Add(Q5Lineitem)
+	e := d.Add(Q5Supplier)
+	return []struct {
+		Name string
+		Set  relalg.RelSet
+	}{
+		{"A=REGION*NATION", a},
+		{"B=CUSTOMER*A", b},
+		{"C=ORDERS*B", c},
+		{"D=LINEITEM*C", d},
+		{"E=SUPPLIER*D", e},
+	}
+}
+
+// Q10 is TPC-H Q10 (four-way join): returned-item reporting.
+func Q10() *relalg.Query {
+	const (
+		C = iota
+		O
+		L
+		N
+	)
+	q := &relalg.Query{
+		Name: "Q10",
+		Rels: []relalg.RelRef{
+			{Alias: "C", Table: "customer"},
+			{Alias: "O", Table: "orders"},
+			{Alias: "L", Table: "lineitem"},
+			{Alias: "N", Table: "nation"},
+		},
+		Scans: []relalg.ScanPred{
+			{Col: col(O, 2), Op: relalg.CmpGE, Val: Date(1993, 10, 1)},
+			{Col: col(O, 2), Op: relalg.CmpLT, Val: Date(1994, 1, 1)},
+			{Col: col(L, 7), Op: relalg.CmpEQ, Val: FlagR}, // l_returnflag = 'R'
+		},
+		Joins: []relalg.JoinPred{
+			{L: col(C, 0), R: col(O, 1)},
+			{L: col(O, 0), R: col(L, 0)},
+			{L: col(C, 3), R: col(N, 0)},
+		},
+		Agg: &relalg.AggSpec{
+			GroupBy: []relalg.ColID{col(C, 0), col(N, 1)},
+			Sums:    []relalg.ColID{col(L, 5)},
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Q8Join is the paper's hand-constructed eight-way join (Table 2).
+func Q8Join() *relalg.Query {
+	q := q8join("Q8Join")
+	const (
+		O  = iota // orders
+		L         // lineitem
+		C         // customer
+		P         // part
+		PS        // partsupp
+		S         // supplier
+		N         // nation
+		R         // region
+	)
+	q.Agg = &relalg.AggSpec{
+		GroupBy: []relalg.ColID{col(C, 1), col(P, 1), col(PS, 2), col(S, 1), col(O, 1), col(R, 1), col(N, 1)},
+		Sums:    []relalg.ColID{col(L, 5)},
+	}
+	return q
+}
+
+// Q8JoinS is Q8Join with the aggregation removed.
+func Q8JoinS() *relalg.Query { return q8join("Q8JoinS") }
+
+func q8join(name string) *relalg.Query {
+	const (
+		O  = iota // orders
+		L         // lineitem
+		C         // customer
+		P         // part
+		PS        // partsupp
+		S         // supplier
+		N         // nation
+		R         // region
+	)
+	q := &relalg.Query{
+		Name: name,
+		Rels: []relalg.RelRef{
+			{Alias: "O", Table: "orders"},
+			{Alias: "L", Table: "lineitem"},
+			{Alias: "C", Table: "customer"},
+			{Alias: "P", Table: "part"},
+			{Alias: "PS", Table: "partsupp"},
+			{Alias: "S", Table: "supplier"},
+			{Alias: "N", Table: "nation"},
+			{Alias: "R", Table: "region"},
+		},
+		Joins: []relalg.JoinPred{
+			{L: col(O, 0), R: col(L, 0)},  // o_orderkey = l_orderkey
+			{L: col(C, 0), R: col(O, 1)},  // c_custkey = o_custkey
+			{L: col(P, 0), R: col(L, 1)},  // p_partkey = l_partkey
+			{L: col(PS, 0), R: col(P, 0)}, // ps_partkey = p_partkey
+			{L: col(S, 0), R: col(PS, 1)}, // s_suppkey = ps_suppkey
+			{L: col(R, 0), R: col(N, 2)},  // r_regionkey = n_regionkey
+			{L: col(S, 2), R: col(N, 0)},  // s_nationkey = n_nationkey
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Q1 is TPC-H Q1: single-table aggregation over lineitem.
+func Q1() *relalg.Query {
+	q := &relalg.Query{
+		Name: "Q1",
+		Rels: []relalg.RelRef{{Alias: "L", Table: "lineitem"}},
+		Scans: []relalg.ScanPred{
+			{Col: col(0, 3), Op: relalg.CmpLE, Val: Date(1998, 9, 2)},
+		},
+		Agg: &relalg.AggSpec{
+			GroupBy:  []relalg.ColID{col(0, 7), col(0, 8)},
+			Sums:     []relalg.ColID{col(0, 4), col(0, 5)},
+			CountAll: true,
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Q6 is TPC-H Q6: single-table range aggregation over lineitem.
+func Q6() *relalg.Query {
+	q := &relalg.Query{
+		Name: "Q6",
+		Rels: []relalg.RelRef{{Alias: "L", Table: "lineitem"}},
+		Scans: []relalg.ScanPred{
+			{Col: col(0, 3), Op: relalg.CmpGE, Val: Date(1994, 1, 1)},
+			{Col: col(0, 3), Op: relalg.CmpLT, Val: Date(1995, 1, 1)},
+			{Col: col(0, 4), Op: relalg.CmpLT, Val: 24},
+			{Col: col(0, 6), Op: relalg.CmpGE, Val: 5},
+		},
+		Agg: &relalg.AggSpec{
+			Sums: []relalg.ColID{col(0, 5)},
+		},
+	}
+	mustValidate(q)
+	return q
+}
+
+// Queries returns the full optimizer workload of §5 keyed by name.
+func Queries() map[string]*relalg.Query {
+	return map[string]*relalg.Query{
+		"Q1": Q1(), "Q3S": Q3S(), "Q5": Q5(), "Q5S": Q5S(),
+		"Q6": Q6(), "Q10": Q10(), "Q8Join": Q8Join(), "Q8JoinS": Q8JoinS(),
+	}
+}
+
+// JoinWorkload returns the queries the paper focuses its optimizer
+// comparison on ("join queries with more than 3-way joins"), in
+// presentation order.
+func JoinWorkload() []*relalg.Query {
+	return []*relalg.Query{Q5(), Q5S(), Q10(), Q8Join(), Q8JoinS()}
+}
+
+func mustValidate(q *relalg.Query) {
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("tpch: %v", err))
+	}
+}

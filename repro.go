@@ -1,0 +1,139 @@
+// Package repro is a from-scratch Go reproduction of "Enabling Incremental
+// Query Re-Optimization" (Mengmeng Liu, Zachary G. Ives, Boon Thau Loo;
+// SIGMOD 2016): a cost-based query optimizer whose state is an incrementally
+// maintainable materialized view, so that after a cardinality or cost update
+// only the affected region of the plan search space is recomputed.
+//
+// This root package is the public facade over the implementation packages:
+//
+//   - internal/core — the incremental declarative optimizer (the paper's
+//     contribution): SearchSpace/PlanCost/BestCost/Bound state, aggregate
+//     selection with tuple source suppression, reference counting, and
+//     recursive bounding, all maintained under cost deltas;
+//   - internal/volcano, internal/systemr — the procedural baselines;
+//   - internal/relalg, internal/catalog, internal/stats, internal/cost —
+//     the shared query model, physical design, statistics and cost model;
+//   - internal/exec — a pipelined executor with cardinality feedback;
+//   - internal/aqp — the adaptive query processing loop;
+//   - internal/tpch, internal/linearroad — the paper's workloads;
+//   - internal/deltalog — a generic counted delta-dataflow engine used as a
+//     differential-testing oracle for the optimizer;
+//   - internal/bench — runners regenerating every table and figure of §5.
+//
+// # Quickstart
+//
+//	cat := tpch.Generate(tpch.DefaultConfig())
+//	opt, _ := repro.NewOptimizer(tpch.Q5(), cat)
+//	plan, _ := opt.Optimize()
+//	fmt.Println(plan.Explain(opt.Query()))
+//
+//	// A runtime statistics update arrives: re-optimize incrementally.
+//	opt.UpdateCardFactor(someExpr, 4.0)
+//	plan, _ = opt.Reoptimize()
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/relalg"
+	"repro/internal/sqlmini"
+)
+
+// Optimizer is the user-facing handle on the incremental declarative
+// optimizer with the full pruning configuration of the paper.
+type Optimizer struct {
+	inner *core.Optimizer
+	query *relalg.Query
+}
+
+// Options configures NewOptimizer.
+type Options struct {
+	// Params overrides the cost-model constants (zero value: defaults).
+	Params *cost.Params
+	// Space restricts the plan space (zero value: the full space).
+	Space *relalg.SpaceOptions
+	// Pruning selects the pruning strategies (zero value: all of them).
+	Pruning *core.Pruning
+}
+
+// NewOptimizer builds an incremental optimizer for the query over the
+// catalog with default options.
+func NewOptimizer(q *relalg.Query, cat *catalog.Catalog) (*Optimizer, error) {
+	return NewOptimizerOptions(q, cat, Options{})
+}
+
+// NewOptimizerOptions builds an incremental optimizer with explicit options.
+func NewOptimizerOptions(q *relalg.Query, cat *catalog.Catalog, o Options) (*Optimizer, error) {
+	params := cost.DefaultParams()
+	if o.Params != nil {
+		params = *o.Params
+	}
+	space := relalg.DefaultSpace()
+	if o.Space != nil {
+		space = *o.Space
+	}
+	mode := core.PruneAll
+	if o.Pruning != nil {
+		mode = *o.Pruning
+	}
+	m, err := cost.NewModel(q, cat, params)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(m, space, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{inner: inner, query: q}, nil
+}
+
+// Query returns the optimizer's query.
+func (o *Optimizer) Query() *relalg.Query { return o.query }
+
+// Optimize performs the initial optimization.
+func (o *Optimizer) Optimize() (*relalg.Plan, error) { return o.inner.Optimize() }
+
+// UpdateCardFactor stages a cardinality update: the estimated cardinality
+// of every expression containing s is scaled by factor (relative to the
+// initial statistics). Call Reoptimize to propagate.
+func (o *Optimizer) UpdateCardFactor(s relalg.RelSet, factor float64) {
+	o.inner.UpdateCardFactor(s, factor)
+}
+
+// UpdateScanCostFactor stages a scan-cost update for one query relation.
+func (o *Optimizer) UpdateScanCostFactor(rel int, factor float64) {
+	o.inner.UpdateScanCostFactor(rel, factor)
+}
+
+// Reoptimize incrementally repairs the optimizer state under the staged
+// updates and returns the (possibly new) best plan.
+func (o *Optimizer) Reoptimize() (*relalg.Plan, error) { return o.inner.Reoptimize() }
+
+// Metrics exposes the instrumentation counters.
+func (o *Optimizer) Metrics() core.Metrics { return o.inner.Metrics() }
+
+// SearchSpace renders the live SearchSpace relation as a text table in the
+// format of the paper's Table 1.
+func (o *Optimizer) SearchSpace() string { return o.inner.FormatSearchSpace() }
+
+// AndOrGraph renders the annotated and-or-graph (the paper's Figure 2).
+func (o *Optimizer) AndOrGraph() string { return o.inner.AndOrGraph() }
+
+// Core exposes the underlying optimizer for advanced use (invariant checks,
+// pruning-mode experiments, state export).
+func (o *Optimizer) Core() *core.Optimizer { return o.inner }
+
+// ParseSQL compiles a single-block SELECT statement against the catalog
+// into the query model accepted by NewOptimizer. opts.Dict resolves string
+// literals to dictionary codes and opts.Date encodes date literals; see
+// internal/sqlmini for the grammar.
+func ParseSQL(sql string, cat *catalog.Catalog, opts SQLOptions) (*relalg.Query, error) {
+	return sqlmini.Parse(sql, cat, sqlmini.Options{Dict: opts.Dict, Date: opts.Date})
+}
+
+// SQLOptions configures ParseSQL literal resolution.
+type SQLOptions struct {
+	Dict map[string]int64
+	Date func(y, m, d int) int64
+}

@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/tpch"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42})
+	opt, err := NewOptimizer(tpch.Q5(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Expr != opt.Query().AllRels() {
+		t.Fatal("plan does not cover the query")
+	}
+	baseline := plan.Cost
+
+	// An 8x cardinality update must raise the (estimated) best cost.
+	opt.UpdateCardFactor(opt.Query().AllRels(), 8)
+	plan, err = opt.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost <= baseline {
+		t.Fatalf("8x root cardinality did not raise cost: %v <= %v", plan.Cost, baseline)
+	}
+	m := opt.Metrics()
+	if m.TouchedEntries == 0 {
+		t.Fatal("update touched nothing")
+	}
+	// Reverting must restore the original optimum exactly.
+	opt.UpdateCardFactor(opt.Query().AllRels(), 1)
+	plan, err = opt.Reoptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != baseline {
+		t.Fatalf("revert did not restore optimum: %v != %v", plan.Cost, baseline)
+	}
+	if err := opt.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(opt.SearchSpace(), "*Expr") {
+		t.Fatal("SearchSpace rendering broken")
+	}
+	if !strings.Contains(opt.AndOrGraph(), "OR ") {
+		t.Fatal("AndOrGraph rendering broken")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.001, Seed: 1})
+	space := relalg.DefaultSpace()
+	space.LeftDeepOnly = true
+	mode := core.PruneEvita
+	opt, err := NewOptimizerOptions(tpch.Q3S(), cat, Options{Space: &space, Pruning: &mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Core().Mode() != core.PruneEvita {
+		t.Fatal("pruning option ignored")
+	}
+	bad := core.Pruning{Suppress: true}
+	if _, err := NewOptimizerOptions(tpch.Q3S(), cat, Options{Pruning: &bad}); err == nil {
+		t.Fatal("invalid pruning accepted")
+	}
+}
+
+func TestFacadeParseSQL(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.001, Seed: 42})
+	q, err := ParseSQL(
+		`SELECT SUM(l.l_extendedprice) FROM orders o, lineitem l
+		 WHERE o.o_orderkey = l.l_orderkey AND o.o_orderdate < '1995-03-15'`,
+		cat, SQLOptions{Date: tpch.Date})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewOptimizer(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Expr != q.AllRels() {
+		t.Fatal("SQL-derived plan incomplete")
+	}
+}
