@@ -7,11 +7,14 @@ package repro
 //
 //	go test -bench=. -benchmem .
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/aqp"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
 	"repro/internal/linearroad"
 	"repro/internal/relalg"
 	"repro/internal/systemr"
@@ -279,6 +282,66 @@ func BenchmarkAblationPlanSpace(b *testing.B) {
 		})
 	}
 }
+
+// benchExecQuery compares the execution paths on one TPC-H query at the
+// default benchmark scale: the legacy row-at-a-time interpreter, the
+// vectorized batch executor, and the vectorized executor with morsel-driven
+// parallel scans across all cores.
+func benchExecQuery(b *testing.B, q *relalg.Query) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.005, Seed: 42})
+	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := &exec.Compiler{Q: q, Cat: cat}
+			it, _, err := comp.CompileRow(vr.Plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Count(it); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := &exec.Compiler{Q: q, Cat: cat}
+			v, _, err := comp.CompileVec(vr.Plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.CountVec(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vec-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := &exec.Compiler{Q: q, Cat: cat, Parallelism: runtime.GOMAXPROCS(0)}
+			v, _, err := comp.CompileVec(vr.Plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.CountVec(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExecQ3S compares row-at-a-time vs vectorized execution of the
+// paper's driving example (simplified TPC-H Q3).
+func BenchmarkExecQ3S(b *testing.B) { benchExecQuery(b, tpch.Q3S()) }
+
+// BenchmarkExecQ5 compares the execution paths on TPC-H Q5 (six-way join
+// with aggregation).
+func BenchmarkExecQ5(b *testing.B) { benchExecQuery(b, tpch.Q5()) }
 
 // BenchmarkFacade exercises the public API end to end (optimize +
 // re-optimize), as a library consumer would.

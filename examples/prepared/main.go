@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"repro"
@@ -36,14 +37,15 @@ func main() {
 	}
 
 	for round := 1; round <= 5; round++ {
-		// Execute the prepared statement and observe actual
-		// cardinalities.
-		comp := &exec.Compiler{Q: q, Cat: cat}
-		it, stats, err := comp.Compile(plan)
+		// Execute the prepared statement on the vectorized executor,
+		// with morsel-driven parallel scans across all cores, and
+		// observe actual cardinalities.
+		comp := &exec.Compiler{Q: q, Cat: cat, Parallelism: runtime.GOMAXPROCS(0)}
+		v, stats, err := comp.CompileVec(plan)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, err := exec.Count(it)
+		rows, err := exec.CountVec(v)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -69,6 +69,10 @@ type Config struct {
 	// propagating, and it is what lets re-optimization overhead converge
 	// to zero as statistics stabilize (Figure 9).
 	FeedbackThreshold float64
+	// Parallelism caps the scan workers of the vectorized executor's
+	// morsel-driven leaf scans during slice execution; <= 1 is serial.
+	// Feedback cardinalities are exact at any setting.
+	Parallelism int
 }
 
 // SliceResult reports one split-point round trip.
@@ -187,14 +191,16 @@ func (c *Controller) RunSlice(data func(rel int) [][]int64) (SliceResult, error)
 	c.lastSig = sig
 	c.first = false
 
-	// Execute over the current windows and collect actual cardinalities.
+	// Execute over the current windows with the vectorized executor and
+	// collect actual cardinalities.
 	start = time.Now()
-	comp := &exec.Compiler{Q: c.cfg.Query, Cat: c.cfg.Cat, Data: data}
-	it, stats, err := comp.Compile(plan)
+	comp := &exec.Compiler{Q: c.cfg.Query, Cat: c.cfg.Cat, Data: data,
+		Parallelism: c.cfg.Parallelism}
+	v, stats, err := comp.CompileVec(plan)
 	if err != nil {
 		return res, err
 	}
-	n, err := exec.Count(it)
+	n, err := exec.CountVec(v)
 	if err != nil {
 		return res, err
 	}

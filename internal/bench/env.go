@@ -26,6 +26,12 @@ type Env struct {
 	// suppress scheduler noise.
 	Repeats int
 
+	// Parallelism is forwarded to the vectorized executor's morsel-driven
+	// scans wherever a runner executes plans; <= 1 keeps execution serial
+	// (the default, so figure timings stay comparable to the paper's
+	// single-threaded setting).
+	Parallelism int
+
 	census map[string]census
 }
 

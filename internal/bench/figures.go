@@ -180,12 +180,12 @@ func (e *Env) Figure6(partitions int, skew float64) []*Table {
 			Seed:             uint64(1000 + round),
 			HistogramBuckets: 16,
 		})
-		comp := &exec.Compiler{Q: q, Cat: pcat}
-		it, stats, err := comp.Compile(plan)
+		comp := &exec.Compiler{Q: q, Cat: pcat, Parallelism: e.Parallelism}
+		v, stats, err := comp.CompileVec(plan)
 		if err != nil {
 			panic(err)
 		}
-		if _, err := exec.Count(it); err != nil {
+		if _, err := exec.CountVec(v); err != nil {
 			panic(err)
 		}
 		n++

@@ -1,6 +1,9 @@
 package exec
 
-import "sort"
+import (
+	"errors"
+	"sort"
+)
 
 // AggSpecExec describes a hash aggregation over the join output.
 type AggSpecExec struct {
@@ -10,18 +13,76 @@ type AggSpecExec struct {
 	CountDistinct []int
 }
 
-type hashAggOp struct {
-	in   Iterator
-	spec AggSpecExec
-	out  []Row
-	pos  int
-}
-
 type aggState struct {
 	key      Row
 	sums     []int64
 	count    int64
 	distinct []map[int64]struct{}
+}
+
+// aggTable is the grouping core shared by the row-at-a-time and vectorized
+// hash aggregation operators.
+type aggTable struct {
+	spec   AggSpecExec
+	groups map[string]*aggState
+}
+
+func newAggTable(spec AggSpecExec) *aggTable {
+	return &aggTable{spec: spec, groups: map[string]*aggState{}}
+}
+
+func (t *aggTable) add(r Row) {
+	key := make(Row, len(t.spec.GroupBy))
+	for i, c := range t.spec.GroupBy {
+		key[i] = r[c]
+	}
+	ks := keyString(key)
+	st := t.groups[ks]
+	if st == nil {
+		st = &aggState{
+			key:      key,
+			sums:     make([]int64, len(t.spec.Sums)),
+			distinct: make([]map[int64]struct{}, len(t.spec.CountDistinct)),
+		}
+		for i := range st.distinct {
+			st.distinct[i] = map[int64]struct{}{}
+		}
+		t.groups[ks] = st
+	}
+	for i, c := range t.spec.Sums {
+		st.sums[i] += r[c]
+	}
+	st.count++
+	for i, c := range t.spec.CountDistinct {
+		st.distinct[i][r[c]] = struct{}{}
+	}
+}
+
+// rows renders the groups as output rows in deterministic (sorted group
+// key) order: group-by columns, SUMs, COUNT(*) if requested, then
+// COUNT(DISTINCT) values.
+func (t *aggTable) rows() []Row {
+	out := make([]Row, 0, len(t.groups))
+	for _, st := range t.groups {
+		row := append(Row(nil), st.key...)
+		row = append(row, st.sums...)
+		if t.spec.CountAll {
+			row = append(row, st.count)
+		}
+		for _, d := range st.distinct {
+			row = append(row, int64(len(d)))
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return rowLess(out[i], out[j]) })
+	return out
+}
+
+type hashAggOp struct {
+	in   Iterator
+	spec AggSpecExec
+	out  []Row
+	pos  int
 }
 
 // NewHashAgg returns a blocking hash aggregation. Output rows are the
@@ -32,59 +93,24 @@ func NewHashAgg(in Iterator, spec AggSpecExec) Iterator {
 }
 
 func (a *hashAggOp) Open() error {
-	groups := map[string]*aggState{}
+	t := newAggTable(a.spec)
 	if err := a.in.Open(); err != nil {
 		return err
 	}
 	for {
 		r, ok, err := a.in.Next()
 		if err != nil {
-			return err
+			return errors.Join(err, a.in.Close())
 		}
 		if !ok {
 			break
 		}
-		key := make(Row, len(a.spec.GroupBy))
-		for i, c := range a.spec.GroupBy {
-			key[i] = r[c]
-		}
-		ks := keyString(key)
-		st := groups[ks]
-		if st == nil {
-			st = &aggState{
-				key:      key,
-				sums:     make([]int64, len(a.spec.Sums)),
-				distinct: make([]map[int64]struct{}, len(a.spec.CountDistinct)),
-			}
-			for i := range st.distinct {
-				st.distinct[i] = map[int64]struct{}{}
-			}
-			groups[ks] = st
-		}
-		for i, c := range a.spec.Sums {
-			st.sums[i] += r[c]
-		}
-		st.count++
-		for i, c := range a.spec.CountDistinct {
-			st.distinct[i][r[c]] = struct{}{}
-		}
+		t.add(r)
 	}
 	if err := a.in.Close(); err != nil {
 		return err
 	}
-	a.out = a.out[:0]
-	for _, st := range groups {
-		row := append(Row(nil), st.key...)
-		row = append(row, st.sums...)
-		if a.spec.CountAll {
-			row = append(row, st.count)
-		}
-		for _, d := range st.distinct {
-			row = append(row, int64(len(d)))
-		}
-		a.out = append(a.out, row)
-	}
-	sort.Slice(a.out, func(i, j int) bool { return rowLess(a.out[i], a.out[j]) })
+	a.out = t.rows()
 	a.pos = 0
 	return nil
 }
@@ -99,6 +125,73 @@ func (a *hashAggOp) Next() (Row, bool, error) {
 }
 
 func (a *hashAggOp) Close() error { a.out = nil; return nil }
+
+// ---- vectorized hash aggregation ----
+
+type vecHashAggOp struct {
+	in    VecIterator
+	spec  AggSpecExec
+	out   [][]int64
+	pos   int
+	batch Batch
+}
+
+// NewVecHashAgg is the vectorized counterpart of NewHashAgg: it consumes
+// its input batch-at-a-time and emits the aggregated groups as dense
+// batches in the same deterministic order.
+func NewVecHashAgg(in VecIterator, spec AggSpecExec) VecIterator {
+	return &vecHashAggOp{in: in, spec: spec}
+}
+
+func (a *vecHashAggOp) Open() error {
+	t := newAggTable(a.spec)
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := a.in.Next()
+		if err != nil {
+			return errors.Join(err, a.in.Close())
+		}
+		if b == nil {
+			break
+		}
+		if b.Sel == nil {
+			for _, r := range b.Rows {
+				t.add(Row(r))
+			}
+		} else {
+			for _, i := range b.Sel {
+				t.add(Row(b.Rows[i]))
+			}
+		}
+	}
+	if err := a.in.Close(); err != nil {
+		return err
+	}
+	rows := t.rows()
+	a.out = make([][]int64, len(rows))
+	for i, r := range rows {
+		a.out[i] = r
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *vecHashAggOp) Next() (*Batch, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	end := a.pos + BatchSize
+	if end > len(a.out) {
+		end = len(a.out)
+	}
+	a.batch = Batch{Rows: a.out[a.pos:end]}
+	a.pos = end
+	return &a.batch, nil
+}
+
+func (a *vecHashAggOp) Close() error { a.out = nil; return nil }
 
 func keyString(r Row) string {
 	b := make([]byte, 0, len(r)*8)

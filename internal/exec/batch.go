@@ -1,0 +1,317 @@
+package exec
+
+import "errors"
+
+// BatchSize is the fixed batch capacity of the vectorized executor. Batches
+// are row-chunked: a window of up to BatchSize rows plus an optional
+// selection vector, so leaf scans hand out zero-copy windows over the base
+// table and predicates only ever touch the selection vector.
+const BatchSize = 1024
+
+// Batch is one unit of vectorized data flow.
+//
+// Ownership contract: the row slices reachable through Row(i) are immutable
+// and may be retained by consumers indefinitely (they alias either base
+// table storage or freshly allocated output rows). The Batch struct itself,
+// its Rows header and its Sel vector are owned by the producer and may be
+// reused as soon as the consumer asks for the next batch — consumers must
+// copy row references out, never the Batch, Rows or Sel.
+type Batch struct {
+	Rows [][]int64
+	Sel  []int // indices of live rows in Rows; nil means all rows are live
+}
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
+
+// Row returns the i-th live row.
+func (b *Batch) Row(i int) Row {
+	if b.Sel != nil {
+		return Row(b.Rows[b.Sel[i]])
+	}
+	return Row(b.Rows[i])
+}
+
+// VecIterator is the batch-at-a-time (vectorized Volcano) operator
+// interface. Next returns nil at end of stream.
+type VecIterator interface {
+	// Open prepares the operator (builds hash tables, sorts inputs,
+	// launches scan workers).
+	Open() error
+	// Next returns the next batch, or nil at end of stream.
+	Next() (*Batch, error)
+	// Close releases operator state.
+	Close() error
+}
+
+// DrainVec runs a vectorized iterator to completion and returns all rows.
+func DrainVec(v VecIterator) ([]Row, error) {
+	if err := v.Open(); err != nil {
+		return nil, errors.Join(err, v.Close())
+	}
+	var out []Row
+	for {
+		b, err := v.Next()
+		if err != nil {
+			return nil, errors.Join(err, v.Close())
+		}
+		if b == nil {
+			break
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+	return out, v.Close()
+}
+
+// CountVec runs a vectorized iterator to completion and returns the row
+// count without retaining rows.
+func CountVec(v VecIterator) (int64, error) {
+	if err := v.Open(); err != nil {
+		return 0, errors.Join(err, v.Close())
+	}
+	var n int64
+	for {
+		b, err := v.Next()
+		if err != nil {
+			return n, errors.Join(err, v.Close())
+		}
+		if b == nil {
+			break
+		}
+		n += int64(b.Len())
+	}
+	return n, v.Close()
+}
+
+// ---- row compatibility shim ----
+
+type vecRowIter struct {
+	v VecIterator
+	b *Batch
+	i int
+}
+
+// NewRowIterator adapts a vectorized operator tree to the row-at-a-time
+// Iterator interface, so Drain/Count and every legacy consumer keep working
+// on top of the batch executor.
+func NewRowIterator(v VecIterator) Iterator { return &vecRowIter{v: v} }
+
+func (r *vecRowIter) Open() error { return r.v.Open() }
+
+func (r *vecRowIter) Next() (Row, bool, error) {
+	for {
+		if r.b != nil && r.i < r.b.Len() {
+			row := r.b.Row(r.i)
+			r.i++
+			return row, true, nil
+		}
+		b, err := r.v.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		r.b, r.i = b, 0
+	}
+}
+
+func (r *vecRowIter) Close() error { return r.v.Close() }
+
+// rowAlloc carves output rows out of BatchSize-rows chunks, amortizing one
+// allocation across a whole output batch. Carved rows are never reused, so
+// consumers may retain them.
+type rowAlloc struct {
+	buf []int64
+}
+
+func (a *rowAlloc) row(w int) Row {
+	if len(a.buf) < w {
+		n := BatchSize * w
+		if n < w {
+			n = w
+		}
+		a.buf = make([]int64, n)
+	}
+	r := Row(a.buf[0:0:w])
+	a.buf = a.buf[w:]
+	return r
+}
+
+// ---- vectorized scan ----
+
+type vecScanOp struct {
+	rows   [][]int64
+	filter ScanFilter
+	pos    int
+	batch  Batch
+	sel    []int
+}
+
+// NewVecScan returns a serial vectorized filtering scan over materialized
+// rows: each batch is a zero-copy window of the input with a selection
+// vector for the surviving rows. Structured conditions in the filter are
+// evaluated with per-batch kernels (one operator dispatch per batch).
+func NewVecScan(rows [][]int64, filter ScanFilter) VecIterator {
+	return &vecScanOp{rows: rows, filter: filter}
+}
+
+func (s *vecScanOp) Open() error { s.pos = 0; return nil }
+
+func (s *vecScanOp) Next() (*Batch, error) {
+	for s.pos < len(s.rows) {
+		end := s.pos + BatchSize
+		if end > len(s.rows) {
+			end = len(s.rows)
+		}
+		chunk := s.rows[s.pos:end]
+		s.pos = end
+		if s.filter.Empty() {
+			s.batch = Batch{Rows: chunk}
+			return &s.batch, nil
+		}
+		if s.sel == nil {
+			s.sel = make([]int, 0, BatchSize)
+		}
+		s.sel = s.filter.Sel(chunk, s.sel)
+		if len(s.sel) == 0 {
+			continue
+		}
+		s.batch = Batch{Rows: chunk, Sel: s.sel}
+		return &s.batch, nil
+	}
+	return nil, nil
+}
+
+func (s *vecScanOp) Close() error { return nil }
+
+// ---- vectorized projection ----
+
+type vecProjectOp struct {
+	in   VecIterator
+	cols []int
+	batchEmitter
+}
+
+// NewVecProject returns vectorized column projection.
+func NewVecProject(in VecIterator, cols []int) VecIterator {
+	return &vecProjectOp{in: in, cols: cols}
+}
+
+func (p *vecProjectOp) Open() error { return p.in.Open() }
+
+func (p *vecProjectOp) Next() (*Batch, error) {
+	b, err := p.in.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := p.rows[:0]
+	for i, n := 0, b.Len(); i < n; i++ {
+		r := b.Row(i)
+		o := p.alloc.row(len(p.cols))
+		for _, c := range p.cols {
+			o = append(o, r[c])
+		}
+		out = append(out, o)
+	}
+	return p.flush(out), nil
+}
+
+func (p *vecProjectOp) Close() error { return p.in.Close() }
+
+// ---- vectorized sort ----
+
+type vecSortOp struct {
+	in    VecIterator
+	col   int
+	rows  [][]int64
+	pos   int
+	batch Batch
+}
+
+// NewVecSort materializes and sorts its input by the given column, emitting
+// dense zero-copy batches of the sorted run.
+func NewVecSort(in VecIterator, col int) VecIterator { return &vecSortOp{in: in, col: col} }
+
+func (s *vecSortOp) Open() error {
+	rows, err := drainVecRows(s.in)
+	if err != nil {
+		return err
+	}
+	sortRowsStable(rows, s.col)
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+func (s *vecSortOp) Next() (*Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + BatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	s.batch = Batch{Rows: s.rows[s.pos:end]}
+	s.pos = end
+	return &s.batch, nil
+}
+
+func (s *vecSortOp) Close() error { s.rows = nil; return nil }
+
+// ---- vectorized cardinality counter ----
+
+type vecCounterOp struct {
+	in VecIterator
+	n  *int64
+}
+
+// NewVecCounter wraps a vectorized iterator and accumulates its output
+// cardinality into n. The counter sits above any exchange, so counts stay
+// exact (and race-free) under morsel-driven parallel scans.
+func NewVecCounter(in VecIterator, n *int64) VecIterator { return &vecCounterOp{in: in, n: n} }
+
+func (c *vecCounterOp) Open() error { return c.in.Open() }
+
+func (c *vecCounterOp) Next() (*Batch, error) {
+	b, err := c.in.Next()
+	if b != nil {
+		*c.n += int64(b.Len())
+	}
+	return b, err
+}
+
+func (c *vecCounterOp) Close() error { return c.in.Close() }
+
+// drainVecRows opens in, collects every live row reference and closes it —
+// the materializing primitive shared by sort, merge join and hash agg.
+func drainVecRows(in VecIterator) ([][]int64, error) {
+	if err := in.Open(); err != nil {
+		return nil, errors.Join(err, in.Close())
+	}
+	var rows [][]int64
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return nil, errors.Join(err, in.Close())
+		}
+		if b == nil {
+			break
+		}
+		if b.Sel == nil {
+			rows = append(rows, b.Rows...)
+		} else {
+			for _, i := range b.Sel {
+				rows = append(rows, b.Rows[i])
+			}
+		}
+	}
+	return rows, in.Close()
+}

@@ -22,7 +22,7 @@ func (s *RunStats) Card(set relalg.RelSet) (int64, bool) {
 	return 0, false
 }
 
-// Compiler turns a physical plan into an iterator tree over concrete data.
+// Compiler turns a physical plan into an operator tree over concrete data.
 type Compiler struct {
 	Q   *relalg.Query
 	Cat *catalog.Catalog
@@ -30,43 +30,88 @@ type Compiler struct {
 	// it returns nil) the catalog table's rows are used. The stream layer
 	// uses this to execute over window buffers.
 	Data func(rel int) [][]int64
+	// Parallelism caps the number of workers of morsel-driven parallel
+	// leaf scans; values <= 1 execute serially. Per-operator cardinality
+	// counters stay exact either way (counters sit above the exchange),
+	// so RunStats feedback into the adaptive layer is unaffected.
+	Parallelism int
 }
 
-// Compile builds the iterator tree for plan, wiring a cardinality counter
-// onto every scan and join operator, and applying the query's aggregation
-// (if any) on top. It returns the root iterator and the stats collector.
+// Compile builds the vectorized operator tree for plan and adapts it to the
+// row-at-a-time Iterator interface, wiring a cardinality counter onto every
+// scan and join operator and applying the query's aggregation (if any) on
+// top. It returns the root iterator and the stats collector.
 func (c *Compiler) Compile(plan *relalg.Plan) (Iterator, *RunStats, error) {
+	v, stats, err := c.CompileVec(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewRowIterator(v), stats, nil
+}
+
+// CompileVec builds the vectorized (batch-at-a-time) operator tree for
+// plan. It is the primary execution path; Compile wraps it in the row shim.
+func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error) {
+	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
+	v, schema, err := c.compileVec(plan, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Q.Agg != nil {
+		spec, err := c.aggSpec(schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		v = NewVecHashAgg(v, spec)
+	}
+	return v, stats, nil
+}
+
+// CompileRow builds the legacy row-at-a-time iterator tree for plan — the
+// differential baseline the vectorized path is tested and benchmarked
+// against.
+func (c *Compiler) CompileRow(plan *relalg.Plan) (Iterator, *RunStats, error) {
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
 	it, schema, err := c.compile(plan, stats)
 	if err != nil {
 		return nil, nil, err
 	}
 	if c.Q.Agg != nil {
-		spec := AggSpecExec{CountAll: c.Q.Agg.CountAll}
-		for _, col := range c.Q.Agg.GroupBy {
-			off, err := colOffset(schema, col)
-			if err != nil {
-				return nil, nil, err
-			}
-			spec.GroupBy = append(spec.GroupBy, off)
-		}
-		for _, col := range c.Q.Agg.Sums {
-			off, err := colOffset(schema, col)
-			if err != nil {
-				return nil, nil, err
-			}
-			spec.Sums = append(spec.Sums, off)
-		}
-		for _, col := range c.Q.Agg.CountDistinct {
-			off, err := colOffset(schema, col)
-			if err != nil {
-				return nil, nil, err
-			}
-			spec.CountDistinct = append(spec.CountDistinct, off)
+		spec, err := c.aggSpec(schema)
+		if err != nil {
+			return nil, nil, err
 		}
 		it = NewHashAgg(it, spec)
 	}
 	return it, stats, nil
+}
+
+// aggSpec resolves the query's aggregation columns against the plan root's
+// output schema.
+func (c *Compiler) aggSpec(schema []relalg.ColID) (AggSpecExec, error) {
+	spec := AggSpecExec{CountAll: c.Q.Agg.CountAll}
+	for _, col := range c.Q.Agg.GroupBy {
+		off, err := colOffset(schema, col)
+		if err != nil {
+			return spec, err
+		}
+		spec.GroupBy = append(spec.GroupBy, off)
+	}
+	for _, col := range c.Q.Agg.Sums {
+		off, err := colOffset(schema, col)
+		if err != nil {
+			return spec, err
+		}
+		spec.Sums = append(spec.Sums, off)
+	}
+	for _, col := range c.Q.Agg.CountDistinct {
+		off, err := colOffset(schema, col)
+		if err != nil {
+			return spec, err
+		}
+		spec.CountDistinct = append(spec.CountDistinct, off)
+	}
+	return spec, nil
 }
 
 func (c *Compiler) rows(rel int) ([][]int64, error) {
@@ -155,15 +200,7 @@ func (c *Compiler) compile(p *relalg.Plan, stats *RunStats) (Iterator, []relalg.
 			return nil, nil, err
 		}
 		schema := append(append([]relalg.ColID(nil), ls...), rs...)
-		lcol, rcol := jp.L, jp.R
-		if !p.Left.Expr.Has(lcol.Rel) {
-			lcol, rcol = rcol, lcol
-		}
-		lk, err := colOffset(ls, lcol)
-		if err != nil {
-			return nil, nil, err
-		}
-		rk, err := colOffset(rs, rcol)
+		lk, rk, err := c.joinOffsets(p, jp, ls, rs)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -172,25 +209,9 @@ func (c *Compiler) compile(p *relalg.Plan, stats *RunStats) (Iterator, []relalg.
 		case relalg.PhyHashJoin:
 			// Hash on the compound key of every cross equi-predicate;
 			// only non-equi filters remain as residuals.
-			lKeys, rKeys := []int{lk}, []int{rk}
-			for pi, ojp := range c.Q.Joins {
-				if pi == p.Pred || !ojp.Crosses(p.Left.Expr, p.Right.Expr) {
-					continue
-				}
-				ol, or := ojp.L, ojp.R
-				if !p.Left.Expr.Has(ol.Rel) {
-					ol, or = or, ol
-				}
-				lo, err := colOffset(ls, ol)
-				if err != nil {
-					return nil, nil, err
-				}
-				ro, err := colOffset(rs, or)
-				if err != nil {
-					return nil, nil, err
-				}
-				lKeys = append(lKeys, lo)
-				rKeys = append(rKeys, ro)
+			lKeys, rKeys, err := c.hashJoinKeys(p, ls, rs, lk, rk)
+			if err != nil {
+				return nil, nil, err
 			}
 			residual, err := c.filterPredsOnly(p, schema)
 			if err != nil {
@@ -261,6 +282,218 @@ func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iter
 		stats.Cards[set] = n
 	}
 	return NewCounter(it, n)
+}
+
+// ---- vectorized compilation ----
+
+// compileVec mirrors compile over the vectorized operator set and returns
+// the operator and its output schema.
+func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []relalg.ColID, error) {
+	switch p.Log {
+	case relalg.LogScan:
+		rows, err := c.rows(p.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		arity, err := c.tableArity(p.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := make([]relalg.ColID, arity)
+		for i := range schema {
+			schema[i] = relalg.ColID{Rel: p.Rel, Off: i}
+		}
+		conds, err := c.scanConds(p.Rel, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		v := c.scanVec(rows, ScanFilter{Conds: conds})
+		if p.Prop.Kind == relalg.PropSorted {
+			off, err := colOffset(schema, p.Prop.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			v = NewVecSort(v, off)
+		} else if p.Phy == relalg.PhyIndexScan {
+			off, err := colOffset(schema, p.IdxCol)
+			if err != nil {
+				return nil, nil, err
+			}
+			v = NewVecSort(v, off)
+		}
+		return c.countedVec(v, p.Expr, stats), schema, nil
+
+	case relalg.LogEnforce:
+		child, schema, err := c.compileVec(p.Left, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		off, err := colOffset(schema, p.Prop.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewVecSort(child, off), schema, nil
+
+	case relalg.LogJoin:
+		jp := c.Q.Joins[p.Pred]
+		if p.Phy == relalg.PhyIndexNLJoin {
+			return c.compileVecIndexNL(p, jp, stats)
+		}
+		left, ls, err := c.compileVec(p.Left, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rs, err := c.compileVec(p.Right, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := append(append([]relalg.ColID(nil), ls...), rs...)
+		lk, rk, err := c.joinOffsets(p, jp, ls, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		var v VecIterator
+		switch p.Phy {
+		case relalg.PhyHashJoin:
+			lKeys, rKeys, err := c.hashJoinKeys(p, ls, rs, lk, rk)
+			if err != nil {
+				return nil, nil, err
+			}
+			residual, err := c.filterPredsOnly(p, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			v = NewVecHashJoin(left, right, lKeys, rKeys, residual)
+		case relalg.PhyMergeJoin:
+			residual, err := c.residualPreds(p, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			v = NewVecMergeJoin(left, right, lk, rk, residual)
+		default:
+			return nil, nil, fmt.Errorf("exec: unexpected join operator %v", p.Phy)
+		}
+		return c.countedVec(v, p.Expr, stats), schema, nil
+	}
+	return nil, nil, fmt.Errorf("exec: unknown logical operator %v", p.Log)
+}
+
+func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *RunStats) (VecIterator, []relalg.ColID, error) {
+	inner := p.Left.Expr.SingleMember()
+	innerArity, err := c.tableArity(inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerSchema := make([]relalg.ColID, innerArity)
+	for i := range innerSchema {
+		innerSchema[i] = relalg.ColID{Rel: inner, Off: i}
+	}
+	innerRows, err := c.rows(inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerPreds, err := c.scanPreds(inner, innerSchema)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerCol, outerCol := jp.L, jp.R
+	if innerCol.Rel != inner {
+		innerCol, outerCol = outerCol, innerCol
+	}
+	index := BuildIndex(innerRows, innerCol.Off, innerPreds)
+
+	outer, os, err := c.compileVec(p.Right, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok, err := colOffset(os, outerCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append([]relalg.ColID(nil), innerSchema...), os...)
+	residual, err := c.residualPreds(p, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := NewVecIndexNLJoin(outer, index, ok, innerArity, residual)
+	return c.countedVec(v, p.Expr, stats), schema, nil
+}
+
+// scanVec picks the leaf scan implementation: morsel-driven parallel when
+// the Parallelism option allows it and the table is large enough to pay for
+// worker startup, serial otherwise.
+func (c *Compiler) scanVec(rows [][]int64, filter ScanFilter) VecIterator {
+	if c.Parallelism > 1 && len(rows) >= minParallelRows {
+		return NewParallelScan(rows, filter, c.Parallelism)
+	}
+	return NewVecScan(rows, filter)
+}
+
+func (c *Compiler) countedVec(v VecIterator, set relalg.RelSet, stats *RunStats) VecIterator {
+	n, ok := stats.Cards[set]
+	if !ok {
+		n = new(int64)
+		stats.Cards[set] = n
+	}
+	return NewVecCounter(v, n)
+}
+
+// joinOffsets resolves the primary equi-join columns of p against the
+// child schemas, orienting the predicate so its left column comes from the
+// plan's left child.
+func (c *Compiler) joinOffsets(p *relalg.Plan, jp relalg.JoinPred, ls, rs []relalg.ColID) (lk, rk int, err error) {
+	lcol, rcol := jp.L, jp.R
+	if !p.Left.Expr.Has(lcol.Rel) {
+		lcol, rcol = rcol, lcol
+	}
+	if lk, err = colOffset(ls, lcol); err != nil {
+		return 0, 0, err
+	}
+	if rk, err = colOffset(rs, rcol); err != nil {
+		return 0, 0, err
+	}
+	return lk, rk, nil
+}
+
+// hashJoinKeys extends the primary key columns with every other cross
+// equi-predicate of the join, yielding the compound hash key. Keying on
+// every available equi-join column keeps match sets minimal.
+func (c *Compiler) hashJoinKeys(p *relalg.Plan, ls, rs []relalg.ColID, lk, rk int) (lKeys, rKeys []int, err error) {
+	lKeys, rKeys = []int{lk}, []int{rk}
+	for pi, ojp := range c.Q.Joins {
+		if pi == p.Pred || !ojp.Crosses(p.Left.Expr, p.Right.Expr) {
+			continue
+		}
+		ol, or := ojp.L, ojp.R
+		if !p.Left.Expr.Has(ol.Rel) {
+			ol, or = or, ol
+		}
+		lo, err := colOffset(ls, ol)
+		if err != nil {
+			return nil, nil, err
+		}
+		ro, err := colOffset(rs, or)
+		if err != nil {
+			return nil, nil, err
+		}
+		lKeys = append(lKeys, lo)
+		rKeys = append(rKeys, ro)
+	}
+	return lKeys, rKeys, nil
+}
+
+// scanConds resolves the local selection predicates of a relation into the
+// structured conditions evaluated by the vectorized scan kernels.
+func (c *Compiler) scanConds(rel int, schema []relalg.ColID) ([]ScanCond, error) {
+	var conds []ScanCond
+	for _, pr := range c.Q.ScanPredsOf(rel) {
+		off, err := colOffset(schema, pr.Col)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, ScanCond{Off: off, Op: pr.Op, Val: pr.Val})
+	}
+	return conds, nil
 }
 
 // scanPreds compiles the local selection predicates of a relation against a

@@ -1,13 +1,24 @@
-// Package exec is a pipelined, pull-based (iterator-model) query executor
-// over in-memory []int64 rows. It executes the physical plans produced by
-// the optimizers — table/index scans with pushed-down selections, hash
-// join, sort-merge join, index nested-loops join, sort, and hash
-// aggregation — and collects per-operator actual output cardinalities,
-// which the adaptive layer feeds back into incremental re-optimization
-// (the paper's §5.2.2 "changes based on real execution" and §5.4 loop).
+// Package exec is a pipelined, pull-based query executor over in-memory
+// []int64 rows. It executes the physical plans produced by the optimizers —
+// table/index scans with pushed-down selections, hash join, sort-merge
+// join, index nested-loops join, sort, and hash aggregation — and collects
+// per-operator actual output cardinalities, which the adaptive layer feeds
+// back into incremental re-optimization (the paper's §5.2.2 "changes based
+// on real execution" and §5.4 loop).
+//
+// The primary execution model is vectorized: operators implement
+// VecIterator and exchange row-chunked batches of up to BatchSize rows with
+// selection vectors for pushed-down predicates (batch.go, vecjoin.go), and
+// leaf scans optionally run morsel-driven parallel under the compiler's
+// Parallelism option (parallel.go). The row-at-a-time Iterator model below
+// is kept both as a compatibility shim (NewRowIterator adapts any
+// vectorized tree, so Drain/Count work unchanged) and as a differential
+// baseline (Compiler.CompileRow) for testing and benchmarking the
+// vectorized path.
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -35,8 +46,7 @@ func Drain(it Iterator) ([]Row, error) {
 	for {
 		r, ok, err := it.Next()
 		if err != nil {
-			it.Close()
-			return nil, err
+			return nil, errors.Join(err, it.Close())
 		}
 		if !ok {
 			break
@@ -56,8 +66,7 @@ func Count(it Iterator) (int64, error) {
 	for {
 		_, ok, err := it.Next()
 		if err != nil {
-			it.Close()
-			return n, err
+			return n, errors.Join(err, it.Close())
 		}
 		if !ok {
 			break
@@ -224,7 +233,7 @@ func (s *sortOp) Open() error {
 	if err != nil {
 		return err
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i][s.col] < rows[j][s.col] })
+	sortRowsRefStable(rows, s.col)
 	s.rows = rows
 	s.pos = 0
 	return nil
@@ -451,6 +460,14 @@ func (c *counterOp) Next() (Row, bool, error) {
 }
 
 func (c *counterOp) Close() error { return c.in.Close() }
+
+func sortRowsRefStable(rows []Row, col int) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i][col] < rows[j][col] })
+}
+
+func sortRowsStable(rows [][]int64, col int) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i][col] < rows[j][col] })
+}
 
 func evalAll(preds []PredFn, r Row) bool {
 	for _, p := range preds {

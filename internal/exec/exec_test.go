@@ -333,22 +333,31 @@ func TestPlansAgreeWithBruteForce(t *testing.T) {
 		}
 
 		for pi, plan := range plans {
-			comp := &Compiler{Q: q, Cat: cat}
-			it, _, err := comp.Compile(plan)
-			if err != nil {
-				t.Fatalf("seed %d plan %d: compile: %v\n%s", seed, pi, err, plan.Explain(q))
+			// Both execution paths must agree with the oracle: the
+			// vectorized default (Compile, behind the row shim) and
+			// the legacy row-at-a-time interpreter (CompileRow).
+			compile := map[string]func(*Compiler, *relalg.Plan) (Iterator, *RunStats, error){
+				"vec": (*Compiler).Compile,
+				"row": (*Compiler).CompileRow,
 			}
-			got, err := Drain(it)
-			if err != nil {
-				t.Fatalf("seed %d plan %d: %v\n%s", seed, pi, err, plan.Explain(q))
-			}
-			// Reconstruct the plan's output schema through a
-			// second compile (schema equals full column set in
-			// plan order); canonicalize via column ids.
-			schema := planSchema(q, cat, plan)
-			if gotStr := canonical(q, cat, fullSchema, got, schema); gotStr != want {
-				t.Fatalf("seed %d plan %d: result mismatch\nplan:\n%s\ngot %d rows, want %d",
-					seed, pi, plan.Explain(q), len(got), len(oracleRows))
+			for mode, fn := range compile {
+				comp := &Compiler{Q: q, Cat: cat}
+				it, _, err := fn(comp, plan)
+				if err != nil {
+					t.Fatalf("seed %d plan %d (%s): compile: %v\n%s", seed, pi, mode, err, plan.Explain(q))
+				}
+				got, err := Drain(it)
+				if err != nil {
+					t.Fatalf("seed %d plan %d (%s): %v\n%s", seed, pi, mode, err, plan.Explain(q))
+				}
+				// Reconstruct the plan's output schema through a
+				// second compile (schema equals full column set in
+				// plan order); canonicalize via column ids.
+				schema := planSchema(q, cat, plan)
+				if gotStr := canonical(q, cat, fullSchema, got, schema); gotStr != want {
+					t.Fatalf("seed %d plan %d (%s): result mismatch\nplan:\n%s\ngot %d rows, want %d",
+						seed, pi, mode, plan.Explain(q), len(got), len(oracleRows))
+				}
 			}
 		}
 	}

@@ -1,0 +1,193 @@
+package exec
+
+import "repro/internal/relalg"
+
+// This file holds the batch kernels that make the vectorized path fast:
+// predicate selection loops specialized per comparison operator (one
+// operator dispatch per batch instead of one closure call per row) and a
+// chained open-addressing hash table for the vectorized hash join (no
+// per-probe map overhead, hash prefiltering before key comparison).
+
+// ScanCond is a structured pushed-down selection: row[Off] <Op> Val. The
+// vectorized scans evaluate conditions with per-batch kernels; opaque
+// PredFn closures remain supported as a fallback.
+type ScanCond struct {
+	Off int
+	Op  relalg.CmpOp
+	Val int64
+}
+
+// ScanFilter bundles the pushed-down selections of one scan.
+type ScanFilter struct {
+	Conds []ScanCond
+	Preds []PredFn // opaque fallback predicates, applied after Conds
+}
+
+// Empty reports whether the filter passes every row.
+func (f ScanFilter) Empty() bool { return len(f.Conds) == 0 && len(f.Preds) == 0 }
+
+// Sel computes the selection vector of chunk into buf (reused across
+// batches by the caller). The first condition scans the chunk densely; each
+// further condition compacts the selection in place.
+func (f ScanFilter) Sel(chunk [][]int64, buf []int) []int {
+	sel := buf[:0]
+	dense := true
+	for _, c := range f.Conds {
+		if dense {
+			sel = condSelDense(chunk, c, sel)
+			dense = false
+		} else {
+			sel = condSelRefine(chunk, c, sel)
+		}
+	}
+	if dense {
+		for i := range chunk {
+			sel = append(sel, i)
+		}
+	}
+	for _, p := range f.Preds {
+		out := sel[:0]
+		for _, i := range sel {
+			if p(Row(chunk[i])) {
+				out = append(out, i)
+			}
+		}
+		sel = out
+	}
+	return sel
+}
+
+// condSelDense appends the indices of chunk rows satisfying c to sel, with
+// one operator dispatch for the whole chunk.
+func condSelDense(chunk [][]int64, c ScanCond, sel []int) []int {
+	off, val := c.Off, c.Val
+	switch c.Op {
+	case relalg.CmpEQ:
+		for i, r := range chunk {
+			if r[off] == val {
+				sel = append(sel, i)
+			}
+		}
+	case relalg.CmpNE:
+		for i, r := range chunk {
+			if r[off] != val {
+				sel = append(sel, i)
+			}
+		}
+	case relalg.CmpLT:
+		for i, r := range chunk {
+			if r[off] < val {
+				sel = append(sel, i)
+			}
+		}
+	case relalg.CmpLE:
+		for i, r := range chunk {
+			if r[off] <= val {
+				sel = append(sel, i)
+			}
+		}
+	case relalg.CmpGT:
+		for i, r := range chunk {
+			if r[off] > val {
+				sel = append(sel, i)
+			}
+		}
+	case relalg.CmpGE:
+		for i, r := range chunk {
+			if r[off] >= val {
+				sel = append(sel, i)
+			}
+		}
+	}
+	return sel
+}
+
+// condSelRefine compacts sel in place to the rows also satisfying c.
+func condSelRefine(chunk [][]int64, c ScanCond, sel []int) []int {
+	off, val := c.Off, c.Val
+	out := sel[:0]
+	switch c.Op {
+	case relalg.CmpEQ:
+		for _, i := range sel {
+			if chunk[i][off] == val {
+				out = append(out, i)
+			}
+		}
+	case relalg.CmpNE:
+		for _, i := range sel {
+			if chunk[i][off] != val {
+				out = append(out, i)
+			}
+		}
+	case relalg.CmpLT:
+		for _, i := range sel {
+			if chunk[i][off] < val {
+				out = append(out, i)
+			}
+		}
+	case relalg.CmpLE:
+		for _, i := range sel {
+			if chunk[i][off] <= val {
+				out = append(out, i)
+			}
+		}
+	case relalg.CmpGT:
+		for _, i := range sel {
+			if chunk[i][off] > val {
+				out = append(out, i)
+			}
+		}
+	case relalg.CmpGE:
+		for _, i := range sel {
+			if chunk[i][off] >= val {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// hashCols mixes the compound key columns of r with a multiplicative hash —
+// cheaper than the row path's byte-wise FNV, and strong enough for bucket
+// selection since every chain hit is verified by hash and key equality.
+func hashCols(r []int64, cols []int) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, c := range cols {
+		h = (h ^ uint64(r[c])) * 0xBF58476D1CE4E5B9
+	}
+	h ^= h >> 32
+	return h
+}
+
+// joinTable is the vectorized hash join's build-side table: a power-of-two
+// bucket array of chain heads plus per-row next links and full hashes for
+// prefiltering, laid out as flat arrays instead of a Go map.
+type joinTable struct {
+	mask   uint64
+	head   []int32 // bucket -> 1-based index of the chain head row
+	next   []int32 // row -> 1-based index of the next row in its chain
+	hashes []uint64
+	rows   [][]int64
+}
+
+func buildJoinTable(rows [][]int64, keys []int) *joinTable {
+	size := 16
+	for size < 2*len(rows) {
+		size <<= 1
+	}
+	t := &joinTable{
+		mask:   uint64(size - 1),
+		head:   make([]int32, size),
+		next:   make([]int32, len(rows)),
+		hashes: make([]uint64, len(rows)),
+		rows:   rows,
+	}
+	for i, r := range rows {
+		h := hashCols(r, keys)
+		b := h & t.mask
+		t.hashes[i] = h
+		t.next[i] = t.head[b]
+		t.head[b] = int32(i + 1)
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// morselSize is the number of base-table rows a scan worker claims at a
+// time. One atomic fetch-add per morsel keeps coordination overhead
+// negligible while still load-balancing skewed predicate costs.
+const morselSize = BatchSize
+
+// minParallelRows is the smallest base table worth parallelizing: below
+// this, worker startup dominates the scan itself.
+const minParallelRows = 4 * morselSize
+
+type parallelScanOp struct {
+	rows    [][]int64
+	filter  ScanFilter
+	workers int
+
+	cursor atomic.Int64
+	ch     chan *Batch
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewParallelScan returns a morsel-driven parallel filtering scan: workers
+// claim fixed-size morsels of the base table off a shared atomic cursor,
+// filter them in place, and feed the resulting batches through an exchange
+// channel to the single consumer calling Next. Each emitted batch owns its
+// selection vector, so batches from different workers never alias.
+func NewParallelScan(rows [][]int64, filter ScanFilter, workers int) VecIterator {
+	if workers < 1 {
+		workers = 1
+	}
+	if max := (len(rows) + morselSize - 1) / morselSize; workers > max {
+		workers = max
+	}
+	return &parallelScanOp{rows: rows, filter: filter, workers: workers}
+}
+
+func (s *parallelScanOp) Open() error {
+	s.cursor.Store(0)
+	s.closed = false
+	s.ch = make(chan *Batch, 2*s.workers)
+	s.quit = make(chan struct{})
+	s.wg.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go s.worker()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.ch)
+	}()
+	return nil
+}
+
+func (s *parallelScanOp) worker() {
+	defer s.wg.Done()
+	for {
+		lo := int(s.cursor.Add(1)-1) * morselSize
+		if lo >= len(s.rows) {
+			return
+		}
+		hi := lo + morselSize
+		if hi > len(s.rows) {
+			hi = len(s.rows)
+		}
+		chunk := s.rows[lo:hi]
+		b := &Batch{Rows: chunk}
+		if !s.filter.Empty() {
+			sel := s.filter.Sel(chunk, make([]int, 0, len(chunk)))
+			if len(sel) == 0 {
+				continue
+			}
+			b.Sel = sel
+		}
+		select {
+		case s.ch <- b:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *parallelScanOp) Next() (*Batch, error) {
+	b, ok := <-s.ch
+	if !ok {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (s *parallelScanOp) Close() error {
+	if s.ch == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	// Unblock any worker parked on a send, then wait for them all.
+	for range s.ch {
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,301 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/relalg"
+	"repro/internal/tpch"
+	"repro/internal/volcano"
+)
+
+// ---- vectorized operator unit tests ----
+
+func TestVecScanBatchesAndSelection(t *testing.T) {
+	n := 3*BatchSize + 17
+	data := make([][]int64, n)
+	for i := range data {
+		data[i] = []int64{int64(i), int64(i % 2)}
+	}
+	v := NewVecScan(data, ScanFilter{Preds: []PredFn{func(r Row) bool { return r[1] == 0 }}})
+	if err := v.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var total, batches int
+	for {
+		b, err := v.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		batches++
+		if len(b.Rows) > BatchSize {
+			t.Fatalf("batch of %d rows exceeds capacity %d", len(b.Rows), BatchSize)
+		}
+		for i := 0; i < b.Len(); i++ {
+			if b.Row(i)[1] != 0 {
+				t.Fatalf("selection vector leaked filtered row %v", b.Row(i))
+			}
+		}
+		total += b.Len()
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := (n + 1) / 2; total != want {
+		t.Fatalf("selected %d rows, want %d", total, want)
+	}
+	if batches != 4 {
+		t.Fatalf("got %d batches, want 4", batches)
+	}
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	n := 10*morselSize + 123
+	data := make([][]int64, n)
+	for i := range data {
+		data[i] = []int64{int64(i), int64(i % 7)}
+	}
+	filter := ScanFilter{Conds: []ScanCond{{Off: 1, Op: relalg.CmpLT, Val: 3}}}
+	serial, err := DrainVec(NewVecScan(data, filter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 13} {
+		par, err := DrainVec(NewParallelScan(data, filter, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rowMultiset(par), rowMultiset(serial); got != want {
+			t.Fatalf("workers=%d: parallel scan multiset differs from serial", workers)
+		}
+	}
+}
+
+func TestParallelScanEarlyClose(t *testing.T) {
+	data := make([][]int64, 50*morselSize)
+	for i := range data {
+		data[i] = []int64{int64(i)}
+	}
+	v := NewParallelScan(data, ScanFilter{}, 4)
+	if err := v.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Close with most batches unconsumed: workers must unblock and exit.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestVecHashJoinSpansBatches(t *testing.T) {
+	// Every probe row matches every build row: 60 * 60 = 3600 outputs,
+	// forcing multiple output batch flushes.
+	build := make([][]int64, 60)
+	probe := make([][]int64, 60)
+	for i := range build {
+		build[i] = []int64{1, int64(i)}
+		probe[i] = []int64{1, int64(100 + i)}
+	}
+	v := NewVecHashJoin(NewVecScan(build, ScanFilter{}), NewVecScan(probe, ScanFilter{}), []int{0}, []int{0}, nil)
+	out, err := DrainVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3600 {
+		t.Fatalf("got %d join rows, want 3600", len(out))
+	}
+	for _, r := range out {
+		if len(r) != 4 || r[0] != 1 || r[2] != 1 {
+			t.Fatalf("bad join row %v", r)
+		}
+	}
+}
+
+func TestVecRowShimRoundTrip(t *testing.T) {
+	data := rows([]int64{3, 0}, []int64{1, 1}, []int64{2, 2})
+	it := NewRowIterator(NewVecSort(NewVecScan(data, ScanFilter{}), 0))
+	out, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0][0] != 1 || out[1][0] != 2 || out[2][0] != 3 {
+		t.Fatalf("shim output = %v", out)
+	}
+}
+
+func TestVecProject(t *testing.T) {
+	out, err := DrainVec(NewVecProject(NewVecScan(rows([]int64{1, 2, 3}), ScanFilter{}), []int{2, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0][0] != 3 || out[0][1] != 1 {
+		t.Fatalf("vec project = %v", out)
+	}
+}
+
+// ---- error-path tests ----
+
+type failingIter struct{ closeErr error }
+
+func (f *failingIter) Open() error              { return nil }
+func (f *failingIter) Next() (Row, bool, error) { return nil, false, errors.New("next failed") }
+func (f *failingIter) Close() error             { return f.closeErr }
+
+func TestDrainJoinsCloseError(t *testing.T) {
+	closeErr := errors.New("close failed")
+	_, err := Drain(&failingIter{closeErr: closeErr})
+	if err == nil || !strings.Contains(err.Error(), "next failed") {
+		t.Fatalf("Drain error = %v, want next error", err)
+	}
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("Drain error %v does not join the Close error", err)
+	}
+	if _, err := Count(&failingIter{closeErr: closeErr}); !errors.Is(err, closeErr) {
+		t.Fatalf("Count error %v does not join the Close error", err)
+	}
+}
+
+// TestVecHashJoinOpenErrorReleasesProbe: when draining the build side fails
+// (unsorted merge join below), the already-opened probe side — including
+// parallel scan workers — must be released rather than leaked.
+func TestVecHashJoinOpenErrorReleasesProbe(t *testing.T) {
+	probeData := make([][]int64, 8*morselSize)
+	for i := range probeData {
+		probeData[i] = []int64{int64(i)}
+	}
+	unsorted := rows([]int64{2}, []int64{1})
+	sorted := rows([]int64{1})
+	build := NewVecMergeJoin(NewVecScan(unsorted, ScanFilter{}), NewVecScan(sorted, ScanFilter{}), 0, 0, nil)
+	before := runtime.NumGoroutine()
+	j := NewVecHashJoin(build, NewParallelScan(probeData, ScanFilter{}, 4), []int{0}, []int{0}, nil)
+	if err := j.Open(); err == nil {
+		t.Fatal("unsorted build input accepted")
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("probe-side workers leaked: %d goroutines, started with %d",
+		runtime.NumGoroutine(), before)
+}
+
+// ---- differential test: row shim vs vectorized path, TPC-H workload ----
+
+func rowMultiset(rows []Row) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			fmt.Fprintf(&b, "|%d", v)
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestTPCHRowVecDifferential executes every TPC-H workload query through
+// the legacy row-at-a-time interpreter and the vectorized path (serial and
+// with morsel-driven parallel scans), asserting identical result multisets
+// and identical RunStats feedback cardinalities. Run under -race this also
+// exercises the exchange machinery for data races.
+func TestTPCHRowVecDifferential(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
+	for name, q := range tpch.Queries() {
+		m, err := cost.NewModel(q, cat, cost.DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		rowComp := &Compiler{Q: q, Cat: cat}
+		it, rowStats, err := rowComp.CompileRow(vr.Plan)
+		if err != nil {
+			t.Fatalf("%s: compile row: %v", name, err)
+		}
+		rowRows, err := Drain(it)
+		if err != nil {
+			t.Fatalf("%s: row path: %v", name, err)
+		}
+		want := rowMultiset(rowRows)
+
+		for _, par := range []int{1, 4} {
+			vecComp := &Compiler{Q: q, Cat: cat, Parallelism: par}
+			v, vecStats, err := vecComp.CompileVec(vr.Plan)
+			if err != nil {
+				t.Fatalf("%s: compile vec: %v", name, err)
+			}
+			vecRows, err := DrainVec(v)
+			if err != nil {
+				t.Fatalf("%s: vec path (par=%d): %v", name, par, err)
+			}
+			if got := rowMultiset(vecRows); got != want {
+				t.Fatalf("%s (par=%d): result multiset differs: %d vec rows vs %d row rows",
+					name, par, len(vecRows), len(rowRows))
+			}
+			if len(vecStats.Cards) != len(rowStats.Cards) {
+				t.Fatalf("%s (par=%d): stats cover %d exprs, row path %d",
+					name, par, len(vecStats.Cards), len(rowStats.Cards))
+			}
+			for set, n := range rowStats.Cards {
+				got, ok := vecStats.Card(set)
+				if !ok || got != *n {
+					t.Fatalf("%s (par=%d): cardinality of %v = %d, row path %d",
+						name, par, set, got, *n)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileParallelCountMatches runs an aggregate query end to end via
+// Count under parallel scans — the aqp.RunSlice code path.
+func TestCompileParallelCountMatches(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 11})
+	q := tpch.Q3S()
+	m, _ := cost.NewModel(q, cat, cost.DefaultParams())
+	vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := &Compiler{Q: q, Cat: cat}
+	it, _, err := comp.CompileRow(vr.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Count(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parComp := &Compiler{Q: q, Cat: cat, Parallelism: 4}
+	v, _, err := parComp.CompileVec(vr.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel count = %d, row count = %d", got, want)
+	}
+}

@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// batchEmitter is the shared output side of the row-producing join
+// operators: a reusable output batch whose row storage is carved from a
+// rowAlloc, flushed whenever it fills or the input is exhausted.
+type batchEmitter struct {
+	out   Batch
+	rows  [][]int64
+	alloc rowAlloc
+}
+
+func (e *batchEmitter) flush(rows [][]int64) *Batch {
+	e.rows = rows
+	e.out = Batch{Rows: rows}
+	return &e.out
+}
+
+// ---- vectorized hash join ----
+
+type vecHashJoinOp struct {
+	left, right  VecIterator
+	lKeys, rKeys []int
+	residual     []PredFn
+
+	table *joinTable
+
+	// probe state, carried across Next calls
+	pb        *Batch
+	pi        int
+	probeRow  Row
+	probeHash uint64
+	chain     int32 // 1-based index into table.rows, 0 = end of chain
+	drained   bool
+
+	batchEmitter
+}
+
+// NewVecHashJoin is the vectorized counterpart of NewHashJoin: the build
+// side (left) is drained batch-at-a-time into a flat chained hash table at
+// Open, the probe side (right) streams through batch-at-a-time. Chain hits
+// are prefiltered on the full hash before the key-equality check.
+func NewVecHashJoin(left, right VecIterator, lKeys, rKeys []int, residual []PredFn) VecIterator {
+	return &vecHashJoinOp{left: left, right: right, lKeys: lKeys, rKeys: rKeys,
+		residual: residual}
+}
+
+func (j *vecHashJoinOp) Open() error {
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	build, err := drainVecRows(j.left)
+	if err != nil {
+		// Release the already-opened probe side (which may have
+		// launched parallel scan workers).
+		return errors.Join(err, j.right.Close())
+	}
+	j.table = buildJoinTable(build, j.lKeys)
+	return nil
+}
+
+func (j *vecHashJoinOp) Next() (*Batch, error) {
+	t := j.table
+	out := j.rows[:0]
+	for {
+		for j.chain != 0 {
+			i := j.chain - 1
+			j.chain = t.next[i]
+			if t.hashes[i] != j.probeHash {
+				continue
+			}
+			l := Row(t.rows[i])
+			if !keysEqual(l, j.lKeys, j.probeRow, j.rKeys) {
+				continue
+			}
+			o := j.alloc.row(len(l) + len(j.probeRow))
+			o = append(o, l...)
+			o = append(o, j.probeRow...)
+			if !evalAll(j.residual, o) {
+				continue
+			}
+			out = append(out, o)
+			if len(out) == BatchSize {
+				return j.flush(out), nil
+			}
+		}
+		// advance to the next probe row
+		if j.pb != nil && j.pi < j.pb.Len() {
+			j.probeRow = j.pb.Row(j.pi)
+			j.pi++
+			j.probeHash = hashCols(j.probeRow, j.rKeys)
+			j.chain = t.head[j.probeHash&t.mask]
+			continue
+		}
+		if j.drained {
+			if len(out) > 0 {
+				return j.flush(out), nil
+			}
+			return nil, nil
+		}
+		b, err := j.right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.drained = true
+			continue
+		}
+		j.pb, j.pi = b, 0
+	}
+}
+
+func (j *vecHashJoinOp) Close() error { j.table = nil; return j.right.Close() }
+
+// ---- vectorized merge join ----
+
+type vecMergeJoinOp struct {
+	left, right VecIterator
+	lKey, rKey  int
+	residual    []PredFn
+
+	lRows, rRows   [][]int64
+	li, ri         int
+	groupL, groupR [][]int64
+	gi, gj         int
+
+	batchEmitter
+}
+
+// NewVecMergeJoin joins two inputs already sorted on their key columns,
+// batch-at-a-time.
+func NewVecMergeJoin(left, right VecIterator, lKey, rKey int, residual []PredFn) VecIterator {
+	return &vecMergeJoinOp{left: left, right: right, lKey: lKey, rKey: rKey, residual: residual}
+}
+
+func (m *vecMergeJoinOp) Open() error {
+	var err error
+	if m.lRows, err = drainVecRows(m.left); err != nil {
+		return err
+	}
+	if m.rRows, err = drainVecRows(m.right); err != nil {
+		return err
+	}
+	// Same defensive sortedness check as the row-at-a-time operator: a
+	// violation is a planning bug worth surfacing.
+	for i := 1; i < len(m.lRows); i++ {
+		if m.lRows[i-1][m.lKey] > m.lRows[i][m.lKey] {
+			return fmt.Errorf("exec: merge join left input not sorted on col %d", m.lKey)
+		}
+	}
+	for i := 1; i < len(m.rRows); i++ {
+		if m.rRows[i-1][m.rKey] > m.rRows[i][m.rKey] {
+			return fmt.Errorf("exec: merge join right input not sorted on col %d", m.rKey)
+		}
+	}
+	return nil
+}
+
+func (m *vecMergeJoinOp) Next() (*Batch, error) {
+	out := m.rows[:0]
+	for {
+		for m.gi < len(m.groupL) {
+			for m.gj < len(m.groupR) {
+				l, r := m.groupL[m.gi], m.groupR[m.gj]
+				m.gj++
+				o := m.alloc.row(len(l) + len(r))
+				o = append(o, l...)
+				o = append(o, r...)
+				if !evalAll(m.residual, o) {
+					continue
+				}
+				out = append(out, o)
+				if len(out) == BatchSize {
+					return m.flush(out), nil
+				}
+			}
+			m.gj = 0
+			m.gi++
+		}
+		// advance to the next matching key group
+		if m.li >= len(m.lRows) || m.ri >= len(m.rRows) {
+			if len(out) > 0 {
+				return m.flush(out), nil
+			}
+			return nil, nil
+		}
+		lk, rk := m.lRows[m.li][m.lKey], m.rRows[m.ri][m.rKey]
+		switch {
+		case lk < rk:
+			m.li++
+		case lk > rk:
+			m.ri++
+		default:
+			ls, rs := m.li, m.ri
+			for m.li < len(m.lRows) && m.lRows[m.li][m.lKey] == lk {
+				m.li++
+			}
+			for m.ri < len(m.rRows) && m.rRows[m.ri][m.rKey] == rk {
+				m.ri++
+			}
+			m.groupL, m.groupR = m.lRows[ls:m.li], m.rRows[rs:m.ri]
+			m.gi, m.gj = 0, 0
+		}
+	}
+}
+
+func (m *vecMergeJoinOp) Close() error { m.lRows, m.rRows = nil, nil; return nil }
+
+// ---- vectorized index nested-loops join ----
+
+type vecIndexNLOp struct {
+	outer    VecIterator // the plan's RIGHT child
+	index    Index       // inner: the plan's LEFT child
+	outerKey int
+	innerLen int
+	residual []PredFn
+
+	ob       *Batch
+	oi       int
+	outerRow Row
+	matches  []Row
+	mi       int
+	drained  bool
+
+	batchEmitter
+}
+
+// NewVecIndexNLJoin probes a prebuilt inner index with each outer row,
+// batch-at-a-time. The output row is inner ++ outer, matching the plan
+// convention that the indexed inner is the left child.
+func NewVecIndexNLJoin(outer VecIterator, index Index, outerKey, innerLen int, residual []PredFn) VecIterator {
+	return &vecIndexNLOp{outer: outer, index: index, outerKey: outerKey,
+		innerLen: innerLen, residual: residual}
+}
+
+func (j *vecIndexNLOp) Open() error { return j.outer.Open() }
+
+func (j *vecIndexNLOp) Next() (*Batch, error) {
+	out := j.rows[:0]
+	for {
+		for j.mi < len(j.matches) {
+			in := j.matches[j.mi]
+			j.mi++
+			o := j.alloc.row(len(in) + len(j.outerRow))
+			o = append(o, in...)
+			o = append(o, j.outerRow...)
+			if !evalAll(j.residual, o) {
+				continue
+			}
+			out = append(out, o)
+			if len(out) == BatchSize {
+				return j.flush(out), nil
+			}
+		}
+		if j.ob != nil && j.oi < j.ob.Len() {
+			j.outerRow = j.ob.Row(j.oi)
+			j.oi++
+			j.matches = j.index[j.outerRow[j.outerKey]]
+			j.mi = 0
+			continue
+		}
+		if j.drained {
+			if len(out) > 0 {
+				return j.flush(out), nil
+			}
+			return nil, nil
+		}
+		b, err := j.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.drained = true
+			continue
+		}
+		j.ob, j.oi = b, 0
+	}
+}
+
+func (j *vecIndexNLOp) Close() error { return j.outer.Close() }

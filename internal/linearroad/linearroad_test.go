@@ -139,12 +139,15 @@ func TestSegTollSExecutesConsistently(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(p *relalg.Plan) []exec.Row {
-		comp := &exec.Compiler{Q: q, Cat: win.Catalog(), Data: win.Data}
-		it, _, err := comp.Compile(p)
+		// Execute through the vectorized path with parallel window
+		// scans enabled — the aggregate output order is deterministic
+		// regardless.
+		comp := &exec.Compiler{Q: q, Cat: win.Catalog(), Data: win.Data, Parallelism: 4}
+		v, _, err := comp.CompileVec(p)
 		if err != nil {
 			t.Fatalf("compile: %v\n%s", err, p.Explain(q))
 		}
-		rows, err := exec.Drain(it)
+		rows, err := exec.DrainVec(v)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,7 +13,10 @@
 //   - internal/volcano, internal/systemr — the procedural baselines;
 //   - internal/relalg, internal/catalog, internal/stats, internal/cost —
 //     the shared query model, physical design, statistics and cost model;
-//   - internal/exec — a pipelined executor with cardinality feedback;
+//   - internal/exec — a vectorized (batch-at-a-time) executor with
+//     selection vectors, morsel-driven parallel scans behind a Parallelism
+//     option, exact per-operator cardinality feedback, and a row-at-a-time
+//     compatibility shim;
 //   - internal/aqp — the adaptive query processing loop;
 //   - internal/tpch, internal/linearroad — the paper's workloads;
 //   - internal/deltalog — a generic counted delta-dataflow engine used as a
