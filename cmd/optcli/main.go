@@ -8,6 +8,7 @@
 //	optcli -query q8join -arch volcano
 //	optcli -query q3s -table            # paper Table 1
 //	optcli -query q5 -reopt "D=8"       # apply a Figure 5 style update
+//	optcli -query q5 -exec -parallelism 4  # execute the plan with 4 workers
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/exec"
 	"repro/internal/relalg"
 	"repro/internal/systemr"
 	"repro/internal/tpch"
@@ -33,6 +37,8 @@ func main() {
 	graph := flag.Bool("graph", false, "print the and-or-graph (declarative only)")
 	table := flag.Bool("table", false, "print the SearchSpace table (declarative only)")
 	reopt := flag.String("reopt", "", "comma list of updates, e.g. \"A=0.5,E=8\" (Q5 expressions) or \"scan:orders=4\"")
+	doExec := flag.Bool("exec", false, "execute the chosen plan and print row count and timing")
+	parallelism := flag.Int("parallelism", 1, "executor pipeline workers for -exec; <= 1 is serial")
 	flag.Parse()
 
 	queries := map[string]*relalg.Query{}
@@ -60,6 +66,9 @@ func main() {
 			res.Cost, res.Metrics.Elapsed, res.Metrics.Groups,
 			res.Metrics.Alts, res.Metrics.CostedAlts, res.Metrics.PrunedAlts)
 		fmt.Print(res.Plan.Explain(q))
+		if *doExec {
+			execute(q, cat, res.Plan, *parallelism)
+		}
 		return
 	case "systemr":
 		res, err := systemr.Optimize(m, space)
@@ -69,6 +78,9 @@ func main() {
 		fmt.Printf("systemr: cost %.3f in %v; %d groups, %d alternatives costed\n",
 			res.Cost, res.Metrics.Elapsed, res.Metrics.Groups, res.Metrics.CostedAlts)
 		fmt.Print(res.Plan.Explain(q))
+		if *doExec {
+			execute(q, cat, res.Plan, *parallelism)
+		}
 		return
 	}
 
@@ -143,6 +155,9 @@ func main() {
 			fmt.Print(plan.Explain(q))
 		}
 	}
+	if *doExec {
+		execute(q, cat, plan, *parallelism)
+	}
 	if *table {
 		fmt.Println("\n== SearchSpace (cf. Table 1) ==")
 		fmt.Print(o.FormatSearchSpace())
@@ -151,4 +166,22 @@ func main() {
 		fmt.Println("\n== and-or-graph (cf. Figure 2) ==")
 		fmt.Print(o.AndOrGraph())
 	}
+}
+
+// execute runs the chosen plan through the vectorized executor — with fused
+// parallel pipelines when parallelism > 1 — and prints the result
+// cardinality and execution time.
+func execute(q *relalg.Query, cat *catalog.Catalog, plan *relalg.Plan, parallelism int) {
+	comp := &exec.Compiler{Q: q, Cat: cat, Parallelism: parallelism}
+	v, _, err := comp.CompileVec(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	n, err := exec.CountVec(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d result rows in %v (parallelism %d)\n",
+		n, time.Since(start), parallelism)
 }

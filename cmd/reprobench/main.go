@@ -10,6 +10,7 @@
 //	reprobench -fig ablation    # the DESIGN.md ablations
 //	reprobench -sf 0.01         # TPC-H scale factor
 //	reprobench -slices 60       # stream length for Figures 9/10
+//	reprobench -parallelism 4   # parallel pipeline workers during execution
 package main
 
 import (
@@ -28,10 +29,13 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	slices := flag.Int("slices", 120, "stream slices for Figures 9/10")
 	repeats := flag.Int("repeats", 5, "timing repetitions (minimum is reported)")
+	parallelism := flag.Int("parallelism", 1,
+		"executor pipeline workers wherever plans execute; <= 1 keeps execution serial (the paper's setting)")
 	flag.Parse()
 
 	env := bench.NewEnv(tpch.Config{ScaleFactor: *sf, Seed: *seed})
 	env.Repeats = *repeats
+	env.Parallelism = *parallelism
 
 	all := *fig == "" && *table == ""
 	show := func(ts ...*bench.Table) {

@@ -69,9 +69,12 @@ type Config struct {
 	// propagating, and it is what lets re-optimization overhead converge
 	// to zero as statistics stabilize (Figure 9).
 	FeedbackThreshold float64
-	// Parallelism caps the scan workers of the vectorized executor's
-	// morsel-driven leaf scans during slice execution; <= 1 is serial.
-	// Feedback cardinalities are exact at any setting.
+	// Parallelism caps the workers of the vectorized executor's
+	// morsel-driven parallelism during slice execution — full fused
+	// pipelines (scan → join probes → partial aggregation) where the plan
+	// shape allows, parallel leaf scans otherwise; <= 1 is serial.
+	// Feedback cardinalities are exact at any setting, so the adaptive
+	// loop is unaffected by the parallelism choice.
 	Parallelism int
 }
 

@@ -26,10 +26,11 @@ type Env struct {
 	// suppress scheduler noise.
 	Repeats int
 
-	// Parallelism is forwarded to the vectorized executor's morsel-driven
-	// scans wherever a runner executes plans; <= 1 keeps execution serial
-	// (the default, so figure timings stay comparable to the paper's
-	// single-threaded setting).
+	// Parallelism is forwarded to the vectorized executor wherever a
+	// runner executes plans, enabling fused parallel pipelines and
+	// morsel-driven scans; <= 1 keeps execution serial (the default, so
+	// figure timings stay comparable to the paper's single-threaded
+	// setting). Exposed on the reprobench CLI as -parallelism.
 	Parallelism int
 
 	census map[string]census

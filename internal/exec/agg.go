@@ -13,48 +13,161 @@ type AggSpecExec struct {
 	CountDistinct []int
 }
 
-type aggState struct {
-	key      Row
-	sums     []int64
-	count    int64
+// aggTable is the grouping core shared by the row-at-a-time, vectorized and
+// parallel hash aggregation operators: an open-addressing table of 1-based
+// group ids hashed directly on the int64 group-key columns, with all group
+// state (keys, sums, counts) in flat arrays. Adding a row allocates nothing
+// beyond amortized slice growth — no per-row key string, no per-group
+// state struct — which is what keeps the aggregation hot path off the
+// allocator at any parallelism.
+type aggTable struct {
+	spec AggSpecExec
+	gw   int // group-key width
+	sw   int // sum width
+	dw   int // count-distinct width
+
+	mask   uint64
+	slots  []int32 // open addressing: 0 = empty, else 1-based group id
+	hashes []uint64
+	keys   []int64 // group g's key columns at [g*gw, (g+1)*gw)
+	sums   []int64 // group g's sums at [g*sw, (g+1)*sw)
+	counts []int64
+	idCols []int // 0..gw-1, for inserting already-extracted flat keys
+	// distinct value sets per (group, CountDistinct column); the only
+	// per-group allocation left, and only for COUNT(DISTINCT) queries.
 	distinct []map[int64]struct{}
+	n        int
 }
 
-// aggTable is the grouping core shared by the row-at-a-time and vectorized
-// hash aggregation operators.
-type aggTable struct {
-	spec   AggSpecExec
-	groups map[string]*aggState
-}
+const aggInitSlots = 256 // power of two
 
 func newAggTable(spec AggSpecExec) *aggTable {
-	return &aggTable{spec: spec, groups: map[string]*aggState{}}
+	t := &aggTable{
+		spec:  spec,
+		gw:    len(spec.GroupBy),
+		sw:    len(spec.Sums),
+		dw:    len(spec.CountDistinct),
+		mask:  aggInitSlots - 1,
+		slots: make([]int32, aggInitSlots),
+	}
+	t.idCols = make([]int, t.gw)
+	for i := range t.idCols {
+		t.idCols[i] = i
+	}
+	return t
 }
 
 func (t *aggTable) add(r Row) {
-	key := make(Row, len(t.spec.GroupBy))
-	for i, c := range t.spec.GroupBy {
-		key[i] = r[c]
-	}
-	ks := keyString(key)
-	st := t.groups[ks]
-	if st == nil {
-		st = &aggState{
-			key:      key,
-			sums:     make([]int64, len(t.spec.Sums)),
-			distinct: make([]map[int64]struct{}, len(t.spec.CountDistinct)),
-		}
-		for i := range st.distinct {
-			st.distinct[i] = map[int64]struct{}{}
-		}
-		t.groups[ks] = st
-	}
+	g := t.findOrCreate(hashCols(r, t.spec.GroupBy), r)
 	for i, c := range t.spec.Sums {
-		st.sums[i] += r[c]
+		t.sums[g*t.sw+i] += r[c]
 	}
-	st.count++
+	t.counts[g]++
 	for i, c := range t.spec.CountDistinct {
-		st.distinct[i][r[c]] = struct{}{}
+		t.distinct[g*t.dw+i][r[c]] = struct{}{}
+	}
+}
+
+// findOrCreate returns the group id of r's key columns, creating the group
+// if absent. h must be hashCols(r, spec.GroupBy).
+func (t *aggTable) findOrCreate(h uint64, r Row) int {
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		gi := t.slots[s]
+		if gi == 0 {
+			return t.newGroup(s, h, r, t.spec.GroupBy)
+		}
+		g := int(gi - 1)
+		if t.hashes[g] != h {
+			continue
+		}
+		eq := true
+		for i, c := range t.spec.GroupBy {
+			if t.keys[g*t.gw+i] != r[c] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return g
+		}
+	}
+}
+
+// findOrCreateKey is findOrCreate over an already-extracted flat key (the
+// merge path, where the source group's hash is reused verbatim).
+func (t *aggTable) findOrCreateKey(h uint64, key []int64) int {
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		gi := t.slots[s]
+		if gi == 0 {
+			return t.newGroup(s, h, Row(key), t.idCols)
+		}
+		g := int(gi - 1)
+		if t.hashes[g] != h {
+			continue
+		}
+		eq := true
+		for i := 0; i < t.gw; i++ {
+			if t.keys[g*t.gw+i] != key[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return g
+		}
+	}
+}
+
+func (t *aggTable) newGroup(slot uint64, h uint64, r Row, cols []int) int {
+	g := t.n
+	t.n++
+	t.slots[slot] = int32(g + 1)
+	t.hashes = append(t.hashes, h)
+	for _, c := range cols {
+		t.keys = append(t.keys, r[c])
+	}
+	t.sums = append(t.sums, make([]int64, t.sw)...)
+	t.counts = append(t.counts, 0)
+	for i := 0; i < t.dw; i++ {
+		t.distinct = append(t.distinct, map[int64]struct{}{})
+	}
+	// Grow at 3/4 load; rehashing only touches the slot array (hashes are
+	// stored per group).
+	if uint64(t.n)*4 > (t.mask+1)*3 {
+		t.grow()
+	}
+	return g
+}
+
+func (t *aggTable) grow() {
+	size := 2 * (t.mask + 1)
+	t.mask = size - 1
+	t.slots = make([]int32, size)
+	for g := 0; g < t.n; g++ {
+		s := t.hashes[g] & t.mask
+		for t.slots[s] != 0 {
+			s = (s + 1) & t.mask
+		}
+		t.slots[s] = int32(g + 1)
+	}
+}
+
+// mergeFrom folds another table's partial aggregates into t — the final
+// merge of worker-local aggregation state in the parallel pipeline. Both
+// tables must share the same spec.
+func (t *aggTable) mergeFrom(o *aggTable) {
+	for g := 0; g < o.n; g++ {
+		tg := t.findOrCreateKey(o.hashes[g], o.keys[g*o.gw:(g+1)*o.gw])
+		for i := 0; i < t.sw; i++ {
+			t.sums[tg*t.sw+i] += o.sums[g*o.sw+i]
+		}
+		t.counts[tg] += o.counts[g]
+		for i := 0; i < t.dw; i++ {
+			dst := t.distinct[tg*t.dw+i]
+			for v := range o.distinct[g*o.dw+i] {
+				dst[v] = struct{}{}
+			}
+		}
 	}
 }
 
@@ -62,15 +175,16 @@ func (t *aggTable) add(r Row) {
 // key) order: group-by columns, SUMs, COUNT(*) if requested, then
 // COUNT(DISTINCT) values.
 func (t *aggTable) rows() []Row {
-	out := make([]Row, 0, len(t.groups))
-	for _, st := range t.groups {
-		row := append(Row(nil), st.key...)
-		row = append(row, st.sums...)
+	out := make([]Row, 0, t.n)
+	for g := 0; g < t.n; g++ {
+		row := make(Row, 0, t.gw+t.sw+1+t.dw)
+		row = append(row, t.keys[g*t.gw:(g+1)*t.gw]...)
+		row = append(row, t.sums[g*t.sw:(g+1)*t.sw]...)
 		if t.spec.CountAll {
-			row = append(row, st.count)
+			row = append(row, t.counts[g])
 		}
-		for _, d := range st.distinct {
-			row = append(row, int64(len(d)))
+		for i := 0; i < t.dw; i++ {
+			row = append(row, int64(len(t.distinct[g*t.dw+i])))
 		}
 		out = append(out, row)
 	}
@@ -192,16 +306,6 @@ func (a *vecHashAggOp) Next() (*Batch, error) {
 }
 
 func (a *vecHashAggOp) Close() error { a.out = nil; return nil }
-
-func keyString(r Row) string {
-	b := make([]byte, 0, len(r)*8)
-	for _, v := range r {
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(v>>uint(s)))
-		}
-	}
-	return string(b)
-}
 
 func rowLess(a, b Row) bool {
 	for i := range a {

@@ -290,9 +290,24 @@ func (c *vecCounterOp) Next() (*Batch, error) {
 
 func (c *vecCounterOp) Close() error { return c.in.Close() }
 
+// drainRows forwards the parallel drain fast path through the counter,
+// keeping the counted cardinality exact: the materialized row count is by
+// definition the operator's output cardinality.
+func (c *vecCounterOp) drainRows() ([][]int64, error) {
+	rows, err := drainVecRows(c.in)
+	*c.n += int64(len(rows))
+	return rows, err
+}
+
 // drainVecRows opens in, collects every live row reference and closes it —
-// the materializing primitive shared by sort, merge join and hash agg.
+// the materializing primitive shared by sort, merge join, hash agg and the
+// pipeline's build sides. Sources that support it (parallel scans, possibly
+// under counters) are drained via rowDrainer at full worker parallelism
+// instead of through the single-consumer exchange.
 func drainVecRows(in VecIterator) ([][]int64, error) {
+	if d, ok := in.(rowDrainer); ok {
+		return d.drainRows()
+	}
 	if err := in.Open(); err != nil {
 		return nil, errors.Join(err, in.Close())
 	}

@@ -22,6 +22,17 @@ func (s *RunStats) Card(set relalg.RelSet) (int64, bool) {
 	return 0, false
 }
 
+// counter returns the accumulator for a subexpression, creating it when
+// first requested.
+func (s *RunStats) counter(set relalg.RelSet) *int64 {
+	n, ok := s.Cards[set]
+	if !ok {
+		n = new(int64)
+		s.Cards[set] = n
+	}
+	return n
+}
+
 // Compiler turns a physical plan into an operator tree over concrete data.
 type Compiler struct {
 	Q   *relalg.Query
@@ -31,9 +42,14 @@ type Compiler struct {
 	// uses this to execute over window buffers.
 	Data func(rel int) [][]int64
 	// Parallelism caps the number of workers of morsel-driven parallel
-	// leaf scans; values <= 1 execute serially. Per-operator cardinality
-	// counters stay exact either way (counters sit above the exchange),
-	// so RunStats feedback into the adaptive layer is unaffected.
+	// execution; values <= 1 execute serially. Right-spine hash-join
+	// chains over a large unsorted leaf scan fuse into full parallel
+	// pipelines (scan → probe cascade → worker-local aggregation, see
+	// pipeline.go); remaining large leaf scans fan out individually.
+	// Per-operator cardinality counters stay exact either way (fused
+	// pipelines merge per-worker counters, exchange scans count above the
+	// exchange), so RunStats feedback into the adaptive layer is
+	// unaffected.
 	Parallelism int
 }
 
@@ -53,6 +69,30 @@ func (c *Compiler) Compile(plan *relalg.Plan) (Iterator, *RunStats, error) {
 // plan. It is the primary execution path; Compile wraps it in the row shim.
 func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error) {
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
+	// Full-pipeline fusion at the root: when the query aggregates, the
+	// fused pipeline's terminal becomes worker-local partial aggregation
+	// (even for a bare scan plan, the Q1/Q6 shape), so no exchange or
+	// shared aggregation state sits on the per-row path.
+	if c.Parallelism > 1 {
+		minStages := 1
+		if c.Q.Agg != nil {
+			minStages = 0
+		}
+		op, schema, ok, err := c.compilePipeline(plan, stats, minStages)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			if c.Q.Agg != nil {
+				spec, err := c.aggSpec(schema)
+				if err != nil {
+					return nil, nil, err
+				}
+				op.fuseAgg(spec)
+			}
+			return op, stats, nil
+		}
+	}
 	v, schema, err := c.compileVec(plan, stats)
 	if err != nil {
 		return nil, nil, err
@@ -276,12 +316,7 @@ func (c *Compiler) compileIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *Run
 }
 
 func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iterator {
-	n, ok := stats.Cards[set]
-	if !ok {
-		n = new(int64)
-		stats.Cards[set] = n
-	}
-	return NewCounter(it, n)
+	return NewCounter(it, stats.counter(set))
 }
 
 // ---- vectorized compilation ----
@@ -339,6 +374,17 @@ func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []r
 		if p.Phy == relalg.PhyIndexNLJoin {
 			return c.compileVecIndexNL(p, jp, stats)
 		}
+		if p.Phy == relalg.PhyHashJoin {
+			// Fuse an interior hash-join chain (e.g. a build-side
+			// subtree) into a collect-mode parallel pipeline.
+			op, schema, ok, err := c.compilePipeline(p, stats, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				return op, schema, nil
+			}
+		}
 		left, ls, err := c.compileVec(p.Left, stats)
 		if err != nil {
 			return nil, nil, err
@@ -363,7 +409,7 @@ func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []r
 			if err != nil {
 				return nil, nil, err
 			}
-			v = NewVecHashJoin(left, right, lKeys, rKeys, residual)
+			v = NewVecHashJoin(left, right, lKeys, rKeys, residual, c.Parallelism)
 		case relalg.PhyMergeJoin:
 			residual, err := c.residualPreds(p, schema)
 			if err != nil {
@@ -419,6 +465,86 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 	return c.countedVec(v, p.Expr, stats), schema, nil
 }
 
+// compilePipeline tries to fuse the subtree rooted at p into one
+// parallelPipelineOp: a right-spine chain of at least minStages hash joins
+// (possibly zero, for bare scan+agg plans) over a large unsorted leaf scan.
+// Each stage's build side is compiled with the regular vectorized compiler
+// (and may itself fuse recursively), drained at Open, and probed by every
+// pipeline worker against the shared immutable table. The op registers the
+// cardinality counters of every fused expression itself — the scan and each
+// join — merging exact per-worker counts, so it must not be wrapped in
+// countedVec. Returns ok=false when the shape doesn't match or the scan is
+// too small to pay for workers; the caller falls back to the exchange-based
+// operators.
+func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages int) (*parallelPipelineOp, []relalg.ColID, bool, error) {
+	if c.Parallelism <= 1 {
+		return nil, nil, false, nil
+	}
+	var spine []*relalg.Plan
+	cur := p
+	for cur.Log == relalg.LogJoin && cur.Phy == relalg.PhyHashJoin {
+		spine = append(spine, cur)
+		cur = cur.Right
+	}
+	if len(spine) < minStages {
+		return nil, nil, false, nil
+	}
+	if cur.Log != relalg.LogScan || cur.Prop.Kind == relalg.PropSorted || cur.Phy == relalg.PhyIndexScan {
+		return nil, nil, false, nil
+	}
+	rows, err := c.rows(cur.Rel)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(rows) < minParallelRows {
+		return nil, nil, false, nil
+	}
+	arity, err := c.tableArity(cur.Rel)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	schema := make([]relalg.ColID, arity)
+	for i := range schema {
+		schema[i] = relalg.ColID{Rel: cur.Rel, Off: i}
+	}
+	conds, err := c.scanConds(cur.Rel, schema)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	scanCard := stats.counter(cur.Expr)
+
+	// Stages assemble bottom-up: the innermost join of the spine is probed
+	// first, and each stage's output schema (build ++ probe) is the next
+	// stage's probe schema — exactly the schema the unfused operator tree
+	// would produce.
+	stages := make([]*pipeStage, 0, len(spine))
+	for i := len(spine) - 1; i >= 0; i-- {
+		pj := spine[i]
+		jp := c.Q.Joins[pj.Pred]
+		build, ls, err := c.compileVec(pj.Left, stats)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		lk, rk, err := c.joinOffsets(pj, jp, ls, schema)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		lKeys, rKeys, err := c.hashJoinKeys(pj, ls, schema, lk, rk)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		schema = append(append([]relalg.ColID(nil), ls...), schema...)
+		residual, err := c.filterPredsOnly(pj, schema)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		stages = append(stages, &pipeStage{build: build, buildKeys: lKeys,
+			probeKeys: rKeys, residual: residual, card: stats.counter(pj.Expr)})
+	}
+	op := newParallelPipeline(rows, ScanFilter{Conds: conds}, scanCard, stages, c.Parallelism)
+	return op, schema, true, nil
+}
+
 // scanVec picks the leaf scan implementation: morsel-driven parallel when
 // the Parallelism option allows it and the table is large enough to pay for
 // worker startup, serial otherwise.
@@ -430,12 +556,7 @@ func (c *Compiler) scanVec(rows [][]int64, filter ScanFilter) VecIterator {
 }
 
 func (c *Compiler) countedVec(v VecIterator, set relalg.RelSet, stats *RunStats) VecIterator {
-	n, ok := stats.Cards[set]
-	if !ok {
-		n = new(int64)
-		stats.Cards[set] = n
-	}
-	return NewVecCounter(v, n)
+	return NewVecCounter(v, stats.counter(set))
 }
 
 // joinOffsets resolves the primary equi-join columns of p against the

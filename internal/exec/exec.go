@@ -8,13 +8,22 @@
 //
 // The primary execution model is vectorized: operators implement
 // VecIterator and exchange row-chunked batches of up to BatchSize rows with
-// selection vectors for pushed-down predicates (batch.go, vecjoin.go), and
-// leaf scans optionally run morsel-driven parallel under the compiler's
-// Parallelism option (parallel.go). The row-at-a-time Iterator model below
-// is kept both as a compatibility shim (NewRowIterator adapts any
-// vectorized tree, so Drain/Count work unchanged) and as a differential
-// baseline (Compiler.CompileRow) for testing and benchmarking the
-// vectorized path.
+// selection vectors for pushed-down predicates (batch.go, vecjoin.go).
+// Under the compiler's Parallelism option, parallelism is morsel-driven and
+// extends across whole pipelines (pipeline.go): right-spine hash-join
+// chains over a large leaf scan fuse into a parallelPipelineOp whose
+// workers each run the full scan → probe cascade → partial-aggregate chain
+// privately — join tables are built once with a partitioned parallel insert
+// and shared read-only, aggregation state is worker-local in a flat
+// open-addressing aggTable (agg.go, no per-row key allocation), and partial
+// aggregates and exact per-operator cardinality counts merge once at the
+// end, so RunStats feedback is byte-identical at any parallelism. Plans
+// that don't match the pipeline shape fall back to morsel-driven parallel
+// leaf scans behind an exchange channel (parallel.go). The row-at-a-time
+// Iterator model below is kept both as a compatibility shim (NewRowIterator
+// adapts any vectorized tree, so Drain/Count work unchanged) and as a
+// differential baseline (Compiler.CompileRow) for testing and benchmarking
+// the vectorized path.
 package exec
 
 import (

@@ -1,6 +1,10 @@
 package exec
 
-import "repro/internal/relalg"
+import (
+	"sync"
+
+	"repro/internal/relalg"
+)
 
 // This file holds the batch kernels that make the vectorized path fast:
 // predicate selection loops specialized per comparison operator (one
@@ -189,5 +193,89 @@ func buildJoinTable(rows [][]int64, keys []int) *joinTable {
 		t.next[i] = t.head[b]
 		t.head[b] = int32(i + 1)
 	}
+	return t
+}
+
+// newJoinTable picks the build strategy: partitioned parallel when the
+// build side is large enough to pay for worker startup, serial otherwise.
+// Either way the resulting table is the same read-only structure the probe
+// loops already use.
+func newJoinTable(rows [][]int64, keys []int, workers int) *joinTable {
+	if workers > 1 && len(rows) >= minParallelRows {
+		return buildJoinTableParallel(rows, keys, workers)
+	}
+	return buildJoinTable(rows, keys)
+}
+
+// buildJoinTableParallel builds the same flat chained table as
+// buildJoinTable with a two-phase partitioned insert. Phase 1: workers hash
+// disjoint row chunks and bin the row indices by destination bucket
+// partition into per-(worker, partition) buffers. Phase 2: each partition
+// owner links exactly the rows binned for its contiguous bucket range, so
+// every head and next slot is written by a single goroutine and the table
+// comes out identical (up to chain order, which the probe treats as a
+// multiset) without any synchronization on the hot arrays.
+func buildJoinTableParallel(rows [][]int64, keys []int, workers int) *joinTable {
+	n := len(rows)
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	t := &joinTable{
+		mask:   uint64(size - 1),
+		head:   make([]int32, size),
+		next:   make([]int32, n),
+		hashes: make([]uint64, n),
+		rows:   rows,
+	}
+	if workers > n {
+		workers = n
+	}
+	// partition p owns buckets [p*size/workers, (p+1)*size/workers)
+	partOf := func(bucket uint64) int { return int(bucket) * workers / size }
+
+	bins := make([][][]int32, workers) // bins[worker][partition] -> row indices
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			mine := make([][]int32, workers)
+			for i := lo; i < hi; i++ {
+				h := hashCols(rows[i], keys)
+				t.hashes[i] = h
+				p := partOf(h & t.mask)
+				mine[p] = append(mine[p], int32(i))
+			}
+			bins[w] = mine
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for w := 0; w < workers; w++ {
+				if bins[w] == nil {
+					continue
+				}
+				for _, i := range bins[w][p] {
+					b := t.hashes[i] & t.mask
+					t.next[i] = t.head[b]
+					t.head[b] = i + 1
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
 	return t
 }

@@ -14,23 +14,35 @@ const morselSize = BatchSize
 // this, worker startup dominates the scan itself.
 const minParallelRows = 4 * morselSize
 
+// rowDrainer is implemented by operators that can materialize their entire
+// output into per-worker buffers without going through the batch exchange.
+// drainVecRows uses it as a fast path, so blocking consumers (hash-join
+// build, merge join, sort) drain parallel scans at full worker parallelism
+// instead of serializing every batch through one channel consumer.
+type rowDrainer interface {
+	drainRows() ([][]int64, error)
+}
+
 type parallelScanOp struct {
 	rows    [][]int64
 	filter  ScanFilter
 	workers int
 
-	cursor atomic.Int64
-	ch     chan *Batch
-	quit   chan struct{}
-	wg     sync.WaitGroup
-	closed bool
+	cursor  atomic.Int64
+	ch      chan *Batch
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+	selFree chan []int
+	last    *Batch // batch handed out by the previous Next call
 }
 
 // NewParallelScan returns a morsel-driven parallel filtering scan: workers
 // claim fixed-size morsels of the base table off a shared atomic cursor,
 // filter them in place, and feed the resulting batches through an exchange
 // channel to the single consumer calling Next. Each emitted batch owns its
-// selection vector, so batches from different workers never alias.
+// selection vector until the consumer asks for the next batch, at which
+// point the vector returns to a free list for reuse by the workers.
 func NewParallelScan(rows [][]int64, filter ScanFilter, workers int) VecIterator {
 	if workers < 1 {
 		workers = 1
@@ -46,6 +58,10 @@ func (s *parallelScanOp) Open() error {
 	s.closed = false
 	s.ch = make(chan *Batch, 2*s.workers)
 	s.quit = make(chan struct{})
+	// Sized so a put never blocks: one vector per in-flight batch (channel
+	// capacity) plus one per worker and the consumer's retained batch.
+	s.selFree = make(chan []int, 3*s.workers+1)
+	s.last = nil
 	s.wg.Add(s.workers)
 	for w := 0; w < s.workers; w++ {
 		go s.worker()
@@ -57,8 +73,19 @@ func (s *parallelScanOp) Open() error {
 	return nil
 }
 
+// selBuf fetches a recycled selection buffer, or allocates one.
+func (s *parallelScanOp) selBuf() []int {
+	select {
+	case buf := <-s.selFree:
+		return buf
+	default:
+		return make([]int, 0, morselSize)
+	}
+}
+
 func (s *parallelScanOp) worker() {
 	defer s.wg.Done()
+	var sel []int
 	for {
 		lo := int(s.cursor.Add(1)-1) * morselSize
 		if lo >= len(s.rows) {
@@ -71,11 +98,15 @@ func (s *parallelScanOp) worker() {
 		chunk := s.rows[lo:hi]
 		b := &Batch{Rows: chunk}
 		if !s.filter.Empty() {
-			sel := s.filter.Sel(chunk, make([]int, 0, len(chunk)))
+			if sel == nil {
+				sel = s.selBuf()
+			}
+			sel = s.filter.Sel(chunk, sel)
 			if len(sel) == 0 {
-				continue
+				continue // keep sel for the next morsel
 			}
 			b.Sel = sel
+			sel = nil // ownership moves to the batch until recycled
 		}
 		select {
 		case s.ch <- b:
@@ -86,10 +117,20 @@ func (s *parallelScanOp) worker() {
 }
 
 func (s *parallelScanOp) Next() (*Batch, error) {
+	if s.last != nil && s.last.Sel != nil {
+		// The consumer is done with the previous batch; its selection
+		// vector goes back to the workers.
+		select {
+		case s.selFree <- s.last.Sel:
+		default:
+		}
+	}
+	s.last = nil
 	b, ok := <-s.ch
 	if !ok {
 		return nil, nil
 	}
+	s.last = b
 	return b, nil
 }
 
@@ -103,5 +144,55 @@ func (s *parallelScanOp) Close() error {
 	for range s.ch {
 	}
 	s.wg.Wait()
+	s.last = nil
 	return nil
+}
+
+// drainRows materializes the filtered scan without the exchange channel:
+// workers claim morsels off a private cursor and append surviving row
+// references to per-worker buffers, concatenated once at the end. This is
+// the build-side path of the parallel pipeline — the whole drain runs at
+// worker parallelism with zero cross-worker coordination beyond the cursor.
+func (s *parallelScanOp) drainRows() ([][]int64, error) {
+	var cursor atomic.Int64
+	bufs := make([][][]int64, s.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out [][]int64
+			sel := make([]int, 0, morselSize)
+			for {
+				lo := int(cursor.Add(1)-1) * morselSize
+				if lo >= len(s.rows) {
+					break
+				}
+				hi := lo + morselSize
+				if hi > len(s.rows) {
+					hi = len(s.rows)
+				}
+				chunk := s.rows[lo:hi]
+				if s.filter.Empty() {
+					out = append(out, chunk...)
+					continue
+				}
+				sel = s.filter.Sel(chunk, sel)
+				for _, i := range sel {
+					out = append(out, chunk[i])
+				}
+			}
+			bufs[w] = out
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	rows := make([][]int64, 0, total)
+	for _, b := range bufs {
+		rows = append(rows, b...)
+	}
+	return rows, nil
 }

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements full-pipeline morsel-driven parallelism: instead of
+// fanning out only at the leaf scan and funneling every batch through an
+// exchange channel, a fused pipeline runs the whole
+// scan → probe → … → probe → (partial aggregate | collect) chain inside
+// each worker. Workers claim probe-side morsels off an atomic cursor, probe
+// the shared immutable join tables of every fused hash join, and sink the
+// surviving rows into worker-local state — a worker-local aggTable or a
+// worker-local output buffer — merged exactly once when all workers finish.
+// Nothing crosses between workers on the per-row path.
+
+// pipeStage is one fused hash-join probe: the compiled build-side subtree,
+// the key offsets of the build row and of the incoming probe row, the
+// residual filters first checkable at this join, and the cardinality
+// counter for the join's output. The joinTable is built at Open (with the
+// partitioned parallel build for large sides) and is read-only afterwards,
+// so all workers probe it without synchronization.
+type pipeStage struct {
+	build     VecIterator
+	buildKeys []int
+	probeKeys []int
+	residual  []PredFn
+	card      *int64
+
+	table *joinTable
+}
+
+type parallelPipelineOp struct {
+	// probe source: a morsel-addressable base table plus its scan filter
+	// and cardinality counter.
+	rows     [][]int64
+	filter   ScanFilter
+	scanCard *int64
+
+	stages  []*pipeStage // in probe order: stages[0] is probed first
+	agg     *AggSpecExec // nil = collect mode (emit joined rows)
+	workers int
+
+	out   [][]int64
+	pos   int
+	batch Batch
+}
+
+// newParallelPipeline assembles a fused pipeline over a probe-side base
+// table. With agg == nil the op emits the joined rows; setting agg (via
+// fuseAgg before Open) switches the terminal to worker-local partial
+// aggregation with a final merge.
+func newParallelPipeline(rows [][]int64, filter ScanFilter, scanCard *int64,
+	stages []*pipeStage, workers int) *parallelPipelineOp {
+	if max := (len(rows) + morselSize - 1) / morselSize; workers > max {
+		workers = max
+	}
+	// At least one worker even for an empty probe table, so the merge
+	// phase always has a terminal to read.
+	if workers < 1 {
+		workers = 1
+	}
+	return &parallelPipelineOp{rows: rows, filter: filter, scanCard: scanCard,
+		stages: stages, workers: workers}
+}
+
+// fuseAgg replaces the pipeline's collect terminal with worker-local hash
+// aggregation. Must be called before Open.
+func (p *parallelPipelineOp) fuseAgg(spec AggSpecExec) { p.agg = &spec }
+
+// pipeWorker is the per-worker private state: cardinality counters (index 0
+// is the scan, index i+1 is stage i's output), per-depth scratch rows for
+// the probe cascade, and the terminal sink (aggregate table or row buffer).
+type pipeWorker struct {
+	op      *parallelPipelineOp
+	counts  []int64
+	scratch [][]int64
+	agg     *aggTable
+	out     [][]int64
+	alloc   rowAlloc
+}
+
+func (p *parallelPipelineOp) Open() error {
+	// Build every stage's join table up front. Build sides drain through
+	// drainVecRows, which parallelizes across morsels where the subtree
+	// supports it; large tables use the partitioned parallel insert.
+	for _, st := range p.stages {
+		rows, err := drainVecRows(st.build)
+		if err != nil {
+			return err
+		}
+		st.table = newJoinTable(rows, st.buildKeys, p.workers)
+	}
+
+	var cursor atomic.Int64
+	workers := make([]*pipeWorker, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		pw := &pipeWorker{
+			op:      p,
+			counts:  make([]int64, len(p.stages)+1),
+			scratch: make([][]int64, len(p.stages)),
+		}
+		if p.agg != nil {
+			pw.agg = newAggTable(*p.agg)
+		}
+		workers[w] = pw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pw.run(&cursor)
+		}()
+	}
+	wg.Wait()
+
+	// Exact-cardinality merge: per-worker counters sum to precisely the
+	// counts the serial operator tree would have produced, so RunStats
+	// feedback into the adaptive loop is byte-identical at any
+	// parallelism.
+	for _, pw := range workers {
+		*p.scanCard += pw.counts[0]
+		for i, st := range p.stages {
+			*st.card += pw.counts[i+1]
+		}
+	}
+	if p.agg != nil {
+		agg := workers[0].agg
+		for _, pw := range workers[1:] {
+			agg.mergeFrom(pw.agg)
+		}
+		rows := agg.rows()
+		p.out = make([][]int64, len(rows))
+		for i, r := range rows {
+			p.out[i] = r
+		}
+	} else {
+		total := 0
+		for _, pw := range workers {
+			total += len(pw.out)
+		}
+		p.out = make([][]int64, 0, total)
+		for _, pw := range workers {
+			p.out = append(p.out, pw.out...)
+		}
+	}
+	p.pos = 0
+	return nil
+}
+
+func (w *pipeWorker) run(cursor *atomic.Int64) {
+	rows := w.op.rows
+	filter := w.op.filter
+	var sel []int
+	if !filter.Empty() {
+		sel = make([]int, 0, morselSize)
+	}
+	for {
+		lo := int(cursor.Add(1)-1) * morselSize
+		if lo >= len(rows) {
+			return
+		}
+		hi := lo + morselSize
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		chunk := rows[lo:hi]
+		if filter.Empty() {
+			w.counts[0] += int64(len(chunk))
+			for _, r := range chunk {
+				w.probe(0, r)
+			}
+		} else {
+			sel = filter.Sel(chunk, sel)
+			w.counts[0] += int64(len(sel))
+			for _, i := range sel {
+				w.probe(0, chunk[i])
+			}
+		}
+	}
+}
+
+// probe advances row through the cascade from stage depth on, sinking
+// fully-joined rows into the worker-local terminal. Intermediate join rows
+// live in per-depth scratch buffers that are safely overwritten per match —
+// the cascade below consumes each row synchronously — so the only per-row
+// allocations are retained collect-mode outputs.
+func (w *pipeWorker) probe(depth int, row []int64) {
+	if depth == len(w.op.stages) {
+		if w.agg != nil {
+			w.agg.add(Row(row))
+		} else {
+			w.out = append(w.out, row)
+		}
+		return
+	}
+	st := w.op.stages[depth]
+	t := st.table
+	h := hashCols(row, st.probeKeys)
+	retain := w.agg == nil && depth == len(w.op.stages)-1
+	for ci := t.head[h&t.mask]; ci != 0; {
+		i := ci - 1
+		ci = t.next[i]
+		if t.hashes[i] != h {
+			continue
+		}
+		b := t.rows[i]
+		if !keysEqual(Row(b), st.buildKeys, Row(row), st.probeKeys) {
+			continue
+		}
+		var o []int64
+		if retain {
+			o = w.alloc.row(len(b) + len(row))
+		} else {
+			o = w.scratch[depth][:0]
+		}
+		o = append(o, b...)
+		o = append(o, row...)
+		if !retain {
+			w.scratch[depth] = o
+		}
+		if !evalAll(st.residual, o) {
+			continue
+		}
+		w.counts[depth+1]++
+		w.probe(depth+1, o)
+	}
+}
+
+func (p *parallelPipelineOp) Next() (*Batch, error) {
+	if p.pos >= len(p.out) {
+		return nil, nil
+	}
+	end := p.pos + BatchSize
+	if end > len(p.out) {
+		end = len(p.out)
+	}
+	p.batch = Batch{Rows: p.out[p.pos:end]}
+	p.pos = end
+	return &p.batch, nil
+}
+
+func (p *parallelPipelineOp) Close() error {
+	p.out = nil
+	for _, st := range p.stages {
+		st.table = nil
+	}
+	return nil
+}
+
+// drainRows gives materializing consumers (e.g. an outer join draining a
+// fused build-side pipeline) the already-collected output directly instead
+// of re-copying it batch-by-batch.
+func (p *parallelPipelineOp) drainRows() ([][]int64, error) {
+	if err := p.Open(); err != nil {
+		return nil, errors.Join(err, p.Close())
+	}
+	rows := p.out
+	p.out = nil // ownership moves to the caller before Close drops it
+	return rows, p.Close()
+}

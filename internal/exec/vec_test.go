@@ -110,7 +110,7 @@ func TestVecHashJoinSpansBatches(t *testing.T) {
 		build[i] = []int64{1, int64(i)}
 		probe[i] = []int64{1, int64(100 + i)}
 	}
-	v := NewVecHashJoin(NewVecScan(build, ScanFilter{}), NewVecScan(probe, ScanFilter{}), []int{0}, []int{0}, nil)
+	v := NewVecHashJoin(NewVecScan(build, ScanFilter{}), NewVecScan(probe, ScanFilter{}), []int{0}, []int{0}, nil, 1)
 	out, err := DrainVec(v)
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestVecHashJoinOpenErrorReleasesProbe(t *testing.T) {
 	sorted := rows([]int64{1})
 	build := NewVecMergeJoin(NewVecScan(unsorted, ScanFilter{}), NewVecScan(sorted, ScanFilter{}), 0, 0, nil)
 	before := runtime.NumGoroutine()
-	j := NewVecHashJoin(build, NewParallelScan(probeData, ScanFilter{}, 4), []int{0}, []int{0}, nil)
+	j := NewVecHashJoin(build, NewParallelScan(probeData, ScanFilter{}, 4), []int{0}, []int{0}, nil, 1)
 	if err := j.Open(); err == nil {
 		t.Fatal("unsorted build input accepted")
 	}
@@ -211,10 +211,13 @@ func rowMultiset(rows []Row) string {
 }
 
 // TestTPCHRowVecDifferential executes every TPC-H workload query through
-// the legacy row-at-a-time interpreter and the vectorized path (serial and
-// with morsel-driven parallel scans), asserting identical result multisets
-// and identical RunStats feedback cardinalities. Run under -race this also
-// exercises the exchange machinery for data races.
+// the legacy row-at-a-time interpreter and the vectorized path at every
+// parallelism level (serial, and with fused parallel pipelines plus
+// morsel-driven scans at 2 and 4 workers), asserting identical result
+// multisets and identical RunStats feedback cardinalities — the proof that
+// the §5.4 adaptive loop sees byte-identical feedback at any parallelism.
+// Run under -race (the CI race shard) this also exercises the pipeline
+// workers, partitioned build, and exchange machinery for data races.
 func TestTPCHRowVecDifferential(t *testing.T) {
 	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
 	for name, q := range tpch.Queries() {
@@ -238,7 +241,7 @@ func TestTPCHRowVecDifferential(t *testing.T) {
 		}
 		want := rowMultiset(rowRows)
 
-		for _, par := range []int{1, 4} {
+		for _, par := range []int{1, 2, 4} {
 			vecComp := &Compiler{Q: q, Cat: cat, Parallelism: par}
 			v, vecStats, err := vecComp.CompileVec(vr.Plan)
 			if err != nil {

@@ -26,6 +26,7 @@ type vecHashJoinOp struct {
 	left, right  VecIterator
 	lKeys, rKeys []int
 	residual     []PredFn
+	workers      int
 
 	table *joinTable
 
@@ -41,12 +42,14 @@ type vecHashJoinOp struct {
 }
 
 // NewVecHashJoin is the vectorized counterpart of NewHashJoin: the build
-// side (left) is drained batch-at-a-time into a flat chained hash table at
-// Open, the probe side (right) streams through batch-at-a-time. Chain hits
-// are prefiltered on the full hash before the key-equality check.
-func NewVecHashJoin(left, right VecIterator, lKeys, rKeys []int, residual []PredFn) VecIterator {
+// side (left) is drained into a flat chained hash table at Open, the probe
+// side (right) streams through batch-at-a-time. Chain hits are prefiltered
+// on the full hash before the key-equality check. When workers > 1, the
+// build side drains at worker parallelism where the source supports it and
+// large tables are built with the partitioned parallel insert.
+func NewVecHashJoin(left, right VecIterator, lKeys, rKeys []int, residual []PredFn, workers int) VecIterator {
 	return &vecHashJoinOp{left: left, right: right, lKeys: lKeys, rKeys: rKeys,
-		residual: residual}
+		residual: residual, workers: workers}
 }
 
 func (j *vecHashJoinOp) Open() error {
@@ -59,7 +62,7 @@ func (j *vecHashJoinOp) Open() error {
 		// launched parallel scan workers).
 		return errors.Join(err, j.right.Close())
 	}
-	j.table = buildJoinTable(build, j.lKeys)
+	j.table = newJoinTable(build, j.lKeys, j.workers)
 	return nil
 }
 
