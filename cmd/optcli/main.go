@@ -9,6 +9,8 @@
 //	optcli -query q3s -table            # paper Table 1
 //	optcli -query q5 -reopt "D=8"       # apply a Figure 5 style update
 //	optcli -query q5 -exec -parallelism 4  # execute the plan with 4 workers
+//	optcli -sql "SELECT c.c_custkey FROM customer c, orders o \
+//	  WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'MACHINERY'" -exec
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -31,6 +34,7 @@ import (
 
 func main() {
 	query := flag.String("query", "q5", "workload query: q1,q3s,q5,q5s,q6,q10,q8join,q8joins")
+	sqlText := flag.String("sql", "", "ad-hoc SQL SELECT to optimize instead of a named query (string and date literals resolve through the TPC-H dictionary)")
 	arch := flag.String("arch", "declarative", "optimizer: declarative, volcano, systemr")
 	prune := flag.String("prune", "all", "pruning (declarative): none, evita, aggsel, aggsel+refcount, aggsel+b&b, all")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
@@ -41,15 +45,30 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "executor pipeline workers for -exec; <= 1 is serial")
 	flag.Parse()
 
-	queries := map[string]*relalg.Query{}
-	for name, q := range tpch.Queries() {
-		queries[strings.ToLower(name)] = q
-	}
-	q, ok := queries[strings.ToLower(*query)]
-	if !ok {
-		log.Fatalf("unknown query %q", *query)
-	}
 	cat := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42})
+	var q *relalg.Query
+	if *sqlText != "" {
+		// Ad-hoc SQL reaches the optimizer (and the -exec path) through
+		// the same front door the server uses: repro.ParseSQL with the
+		// workload dictionary resolving string and date literals.
+		var err error
+		q, err = repro.ParseSQL(*sqlText, cat, repro.SQLOptions{
+			Dict: tpch.Dict(), Date: tpch.Date,
+		})
+		if err != nil {
+			log.Fatalf("parse -sql: %v", err)
+		}
+	} else {
+		queries := map[string]*relalg.Query{}
+		for name, qq := range tpch.Queries() {
+			queries[strings.ToLower(name)] = qq
+		}
+		var ok bool
+		q, ok = queries[strings.ToLower(*query)]
+		if !ok {
+			log.Fatalf("unknown query %q", *query)
+		}
+	}
 	m, err := cost.NewModel(q, cat, cost.DefaultParams())
 	if err != nil {
 		log.Fatal(err)

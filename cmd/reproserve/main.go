@@ -1,0 +1,79 @@
+// Command reproserve runs the concurrent query service (internal/server)
+// behind a line-oriented protocol, either over stdin/stdout or as a TCP
+// server with one session per connection. The workload catalog is TPC-H;
+// the named TPC-H queries are preregistered and ad-hoc SQL is accepted.
+//
+// Usage:
+//
+//	reproserve                         # interactive, stdin/stdout
+//	reproserve -listen :7878           # TCP; try: nc localhost 7878
+//	echo 'run SELECT ... FROM ...' | reproserve
+//
+// Protocol (one command per line; see internal/server/proto.go):
+//
+//	query q5 Q5          bind the named TPC-H Q5 as statement "q5"
+//	prepare s1 SELECT... parse and bind ad-hoc SQL
+//	exec q5              execute (feeds cardinalities back to the cache)
+//	rows s1              execute and stream result rows
+//	run SELECT...        one-shot prepare + exec
+//	explain q5           show the current cached plan
+//	metrics              cache hit/miss, repair vs full-opt counters
+//	quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+
+	"repro"
+	"repro/internal/tpch"
+)
+
+func main() {
+	listen := flag.String("listen", "", "TCP listen address (e.g. :7878); empty serves stdin/stdout")
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	skew := flag.Float64("skew", 0, "TPC-H Zipf skew on foreign keys")
+	parallelism := flag.Int("parallelism", 1, "executor pipeline workers per query; <= 1 is serial")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission bound on concurrently executing queries; 0 sizes it against parallelism")
+	flag.Parse()
+
+	cat := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42, Skew: *skew})
+	srv, err := repro.NewServer(cat, repro.ServerOptions{
+		Parallelism:   *parallelism,
+		MaxConcurrent: *maxConcurrent,
+		Dict:          tpch.Dict(),
+		Date:          tpch.Date,
+		Named:         tpch.Queries(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *listen == "" {
+		if err := srv.ServeConn(stdio{}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "reproserve: listening on %s (sf=%g, parallelism=%d)\n",
+		l.Addr(), *sf, *parallelism)
+	if err := srv.ServeListener(l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// stdio glues stdin and stdout into one io.ReadWriter for ServeConn.
+type stdio struct{}
+
+func (stdio) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdio) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+
+var _ io.ReadWriter = stdio{}

@@ -2,6 +2,14 @@
 // execution of the same query — a prepared statement — where each run
 // yields better cost information and the optimizer re-optimizes with
 // minimal overhead instead of from scratch.
+//
+// The demo is built on the serving layer (repro.NewServer), so it exercises
+// exactly the production path: the statement lives in the shared plan cache,
+// each Exec feeds observed cardinalities back to the entry's live
+// incremental optimizer, and the cached plan is repaired in place — never
+// re-planned from scratch — until feedback converges and repairs stop. A
+// full Volcano optimization is re-run each round purely as the
+// non-incremental comparator.
 package main
 
 import (
@@ -12,7 +20,6 @@ import (
 
 	"repro"
 	"repro/internal/cost"
-	"repro/internal/exec"
 	"repro/internal/relalg"
 	"repro/internal/tpch"
 	"repro/internal/volcano"
@@ -21,59 +28,57 @@ import (
 func main() {
 	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.005, Seed: 42, Skew: 0.5})
 	q := tpch.Q10()
-	opt, err := repro.NewOptimizer(q, cat)
-	if err != nil {
-		log.Fatal(err)
-	}
-	plan, err := opt.Optimize()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("initial optimization: %v\n", opt.Metrics().Elapsed)
 
-	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	srv, err := repro.NewServer(cat, repro.ServerOptions{
+		Parallelism: runtime.GOMAXPROCS(0),
+		// Exact feedback for the demo: repair whenever statistics move at
+		// all, so the convergence to zero repairs is earned, not assumed.
+		FeedbackThreshold: 1e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := srv.Session()
+
+	st, err := sess.PrepareQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m0 := srv.Metrics()
+	fmt.Printf("prepare: cache %s, initial optimization %v\n",
+		map[bool]string{true: "hit", false: "miss"}[st.Hit], m0.FullOptTime)
+
+	// The Volcano comparator optimizes over its own model so its factor
+	// state cannot leak into the served plans.
+	vm, err := cost.NewModel(q, cat, cost.DefaultParams())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for round := 1; round <= 5; round++ {
-		// Execute the prepared statement on the vectorized executor,
-		// with morsel-driven parallel scans across all cores, and
-		// observe actual cardinalities.
-		comp := &exec.Compiler{Q: q, Cat: cat, Parallelism: runtime.GOMAXPROCS(0)}
-		v, stats, err := comp.CompileVec(plan)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows, err := exec.CountVec(v)
+		res, err := st.Exec()
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		// Feed observed/estimated ratios back and re-optimize
-		// incrementally; compare against a full Volcano re-run.
-		for set, n := range stats.Cards {
-			obs := float64(*n)
-			if obs < 0.5 {
-				obs = 0.5
-			}
-			opt.UpdateCardFactor(set, obs/m.CardBase(set))
-		}
-		plan, err = opt.Reoptimize()
-		if err != nil {
-			log.Fatal(err)
-		}
-		inc := opt.Metrics().Elapsed
+		m := srv.Metrics()
+		entry := m.PerEntry[0]
 
 		t0 := time.Now()
-		if _, err := volcano.Optimize(m, relalg.DefaultSpace()); err != nil {
+		if _, err := volcano.Optimize(vm, relalg.DefaultSpace()); err != nil {
 			log.Fatal(err)
 		}
 		full := time.Since(t0)
 
-		fmt.Printf("round %d: %5d rows; incremental re-opt %10v (touched %3d entries) vs full optimization %10v\n",
-			round, rows, inc, opt.Metrics().TouchedEntries, full)
+		fmt.Printf("round %d: %5d rows on plan v%d; repaired=%-5t (cumulative repair time %10v, touched %4d entries) vs full optimization %10v\n",
+			round, len(res.Rows), res.PlanVersion, res.Repaired,
+			entry.RepairTime, entry.Touched, full)
 	}
+
+	m := srv.Metrics()
+	entry := m.PerEntry[0]
+	fmt.Printf("\nafter %d executions: %d from-scratch optimization(s), %d incremental repair(s), %d converged execution(s)\n",
+		entry.Execs, entry.FullOpts, entry.Repairs, entry.Converged)
 	fmt.Println("\nfinal plan:")
-	fmt.Print(plan.Explain(q))
+	fmt.Print(st.Plan().Explain(q))
 }

@@ -10,8 +10,6 @@ package aqp
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
 	"repro/internal/catalog"
@@ -98,14 +96,8 @@ type Controller struct {
 	lastSig string
 	first   bool
 
-	// cumulative observation state: sum of observed cardinalities and
-	// number of observations per expression
-	obsSum map[relalg.RelSet]float64
-	obsN   map[relalg.RelSet]float64
-
-	applied map[relalg.RelSet]float64 // last factor actually sent
+	cal     *Calibrator               // observation → factor calibration
 	pending map[relalg.RelSet]float64 // staged factors for the next reopt
-	lastObs map[relalg.RelSet]float64 // most recent raw observations
 }
 
 // NewController builds the controller. The cost model snapshots the
@@ -122,11 +114,8 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	c := &Controller{
 		cfg: cfg, model: m, first: true,
-		obsSum:  map[relalg.RelSet]float64{},
-		obsN:    map[relalg.RelSet]float64{},
-		applied: map[relalg.RelSet]float64{},
+		cal:     NewCalibrator(cfg.Cumulative, cfg.FeedbackThreshold),
 		pending: map[relalg.RelSet]float64{},
-		lastObs: map[relalg.RelSet]float64{},
 	}
 	if cfg.Strategy == Incremental {
 		opt, err := core.New(m, cfg.Space, cfg.Pruning)
@@ -215,66 +204,23 @@ func (c *Controller) RunSlice(data func(rel int) [][]int64) (SliceResult, error)
 }
 
 // observe converts the executed plan's actual cardinalities into staged
-// feedback factors for the next split point (§5.2.2: "re-optimized given
-// the cumulatively observed statistics").
-//
-// Factors are CALIBRATED: overrides compose multiplicatively up the subset
-// lattice (an override on S scales every expression containing S), so the
-// factor for S must be computed against the estimate that already includes
-// the corrections inherited from S's subexpressions — otherwise child and
-// parent corrections double-count and compound to absurd cardinalities.
-// Observations are therefore processed in ascending expression size, each
-// factor chosen so that the corrected estimate equals the observation.
+// feedback factors for the next split point, delegating the calibration
+// math to the shared Calibrator (see calibrate.go). The pending map
+// re-submits each changed factor at the next RunSlice, which stages the
+// delta with the incremental optimizer (the model mutation itself is
+// idempotent).
 func (c *Controller) observe(stats *exec.RunStats) {
 	if c.cfg.Strategy == Static {
 		return
 	}
-	sets := make([]relalg.RelSet, 0, len(stats.Cards))
-	for set := range stats.Cards {
-		sets = append(sets, set)
-	}
-	sort.Slice(sets, func(i, j int) bool {
-		if sets[i].Count() != sets[j].Count() {
-			return sets[i].Count() < sets[j].Count()
-		}
-		return sets[i] < sets[j]
-	})
-	for _, set := range sets {
-		obs := float64(*stats.Cards[set])
-		if obs < 0.5 {
-			obs = 0.5 // zero observations still carry information
-		}
-		c.lastObs[set] = obs
-		var est float64
-		if c.cfg.Cumulative {
-			c.obsSum[set] += obs
-			c.obsN[set]++
-			est = c.obsSum[set] / c.obsN[set]
-		} else {
-			est = obs
-		}
-		// Estimate for set under the corrections applied so far,
-		// excluding set's own current factor.
-		inherited := c.model.Card(set) / c.model.CardFactor(set)
-		factor := est / inherited
-		factor = math.Min(math.Max(factor, 1e-6), 1e9)
-		prev, ok := c.applied[set]
-		if ok && math.Abs(factor-prev) <= c.cfg.FeedbackThreshold*prev {
-			continue // statistically unchanged; no delta worth emitting
-		}
-		c.applied[set] = factor
-		c.pending[set] = factor
-		// Apply immediately so larger sets in this batch calibrate
-		// against it. The pending map re-submits the same value at the
-		// next RunSlice, which stages the delta with the incremental
-		// optimizer (the model mutation itself is idempotent).
-		c.model.SetCardFactor(set, factor)
+	for set, f := range c.cal.Observe(stats.Snapshot(), c.model) {
+		c.pending[set] = f
 	}
 }
 
 // obsForTest exposes the most recent raw observation for an expression
 // (test hook).
-func (c *Controller) obsForTest(set relalg.RelSet) float64 { return c.lastObs[set] }
+func (c *Controller) obsForTest(set relalg.RelSet) float64 { return c.cal.LastObs(set) }
 
 func clearMap(m map[relalg.RelSet]float64) {
 	for k := range m {

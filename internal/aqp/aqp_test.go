@@ -116,8 +116,7 @@ func TestFeedbackCalibration(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := ctl.Model()
-	for set, want := range ctl.applied {
-		_ = want
+	for set := range ctl.cal.applied {
 		est := m.Card(set)
 		obs := ctl.obsForTest(set)
 		if obs == 0 {

@@ -1,0 +1,119 @@
+package aqp
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/relalg"
+)
+
+// Calibrator converts observed per-expression cardinalities into calibrated
+// cost-model feedback factors (§5.2.2: "re-optimized given the cumulatively
+// observed statistics"). It is the feedback half of the adaptive loop,
+// factored out so that the split-point Controller and the serving layer's
+// shared plan cache (internal/server) derive factors identically: the server
+// is the same loop, driven by prepared-statement executions instead of
+// stream slices.
+//
+// Factors are CALIBRATED: overrides compose multiplicatively up the subset
+// lattice (an override on S scales every expression containing S), so the
+// factor for S must be computed against the estimate that already includes
+// the corrections inherited from S's subexpressions — otherwise child and
+// parent corrections double-count and compound to absurd cardinalities.
+// Observations are therefore processed in ascending expression size, each
+// factor chosen so that the corrected estimate equals the observation.
+//
+// A Calibrator is not safe for concurrent use; callers serialize it together
+// with the cost.Model it feeds (the Controller is single-threaded, the
+// server holds the per-cache-entry mutex).
+type Calibrator struct {
+	// Cumulative selects whether factors derive from cumulatively averaged
+	// observations (the paper's AQP-Cumulative) or from the last execution
+	// only (AQP-NonCumulative, which "fits" the plan to local data).
+	Cumulative bool
+	// Threshold suppresses feedback whose factor is within this relative
+	// distance of the previously applied one: a cost update that would not
+	// change any decision is not worth propagating, and it is what lets
+	// re-optimization overhead converge to zero as statistics stabilize
+	// (Figure 9).
+	Threshold float64
+
+	obsSum  map[relalg.RelSet]float64 // sum of observations per expression
+	obsN    map[relalg.RelSet]float64 // number of observations
+	applied map[relalg.RelSet]float64 // last factor actually emitted
+	lastObs map[relalg.RelSet]float64 // most recent raw observations
+}
+
+// NewCalibrator builds a calibrator; threshold 0 selects the default 0.2.
+func NewCalibrator(cumulative bool, threshold float64) *Calibrator {
+	if threshold == 0 {
+		threshold = 0.2
+	}
+	return &Calibrator{
+		Cumulative: cumulative,
+		Threshold:  threshold,
+		obsSum:     map[relalg.RelSet]float64{},
+		obsN:       map[relalg.RelSet]float64{},
+		applied:    map[relalg.RelSet]float64{},
+		lastObs:    map[relalg.RelSet]float64{},
+	}
+}
+
+// Observe folds one execution's observed cardinalities (a RunStats.Snapshot)
+// into the calibration state, applies the resulting override factors to the
+// model, and returns the factors that moved beyond the threshold — empty
+// when statistics have converged and no re-optimization is warranted. Each
+// returned factor has already been installed with Model.SetCardFactor;
+// incremental callers additionally stage it with Optimizer.UpdateCardFactor
+// (the model mutation is idempotent).
+func (c *Calibrator) Observe(cards map[relalg.RelSet]int64, m *cost.Model) map[relalg.RelSet]float64 {
+	sets := make([]relalg.RelSet, 0, len(cards))
+	for set := range cards {
+		sets = append(sets, set)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].Count() != sets[j].Count() {
+			return sets[i].Count() < sets[j].Count()
+		}
+		return sets[i] < sets[j]
+	})
+	var changed map[relalg.RelSet]float64
+	for _, set := range sets {
+		obs := float64(cards[set])
+		if obs < 0.5 {
+			obs = 0.5 // zero observations still carry information
+		}
+		c.lastObs[set] = obs
+		var est float64
+		if c.Cumulative {
+			c.obsSum[set] += obs
+			c.obsN[set]++
+			est = c.obsSum[set] / c.obsN[set]
+		} else {
+			est = obs
+		}
+		// Estimate for set under the corrections applied so far,
+		// excluding set's own current factor.
+		inherited := m.Card(set) / m.CardFactor(set)
+		factor := est / inherited
+		factor = math.Min(math.Max(factor, 1e-6), 1e9)
+		prev, ok := c.applied[set]
+		if ok && math.Abs(factor-prev) <= c.Threshold*prev {
+			continue // statistically unchanged; no delta worth emitting
+		}
+		c.applied[set] = factor
+		if changed == nil {
+			changed = map[relalg.RelSet]float64{}
+		}
+		changed[set] = factor
+		// Apply immediately so larger sets in this batch calibrate
+		// against it.
+		m.SetCardFactor(set, factor)
+	}
+	return changed
+}
+
+// LastObs returns the most recent raw observation for an expression (0 when
+// never observed).
+func (c *Calibrator) LastObs(set relalg.RelSet) float64 { return c.lastObs[set] }

@@ -34,6 +34,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
@@ -148,7 +149,16 @@ func (m Metrics) AliveGroups() int { return m.GroupsEnumerated - m.GroupsRelease
 // Optimizer is the incremental declarative optimizer. Create one per query
 // with New, call Optimize once, then interleave cost updates
 // (Model.SetCardFactor / Model.SetScanCostFactor via UpdateCardFactor /
-// UpdateScanCostFactor) with Reoptimize calls. Not safe for concurrent use.
+// UpdateScanCostFactor) with Reoptimize calls.
+//
+// Concurrency contract: an Optimizer (and the cost.Model it owns) is NOT
+// safe for concurrent use — Optimize, Reoptimize, UpdateCardFactor,
+// UpdateScanCostFactor and Metrics must be externally serialized, e.g. by
+// the per-cache-entry mutex of internal/server. Plans returned by
+// Optimize/Reoptimize are freshly built trees and may be read (and
+// executed) concurrently with later repairs. A cheap atomic guard detects
+// accidental concurrent entry into the mutating methods and panics rather
+// than silently corrupting the materialized view.
 type Optimizer struct {
 	model *cost.Model
 	space relalg.SpaceOptions
@@ -173,7 +183,21 @@ type Optimizer struct {
 	nextID    int
 
 	pending []pendingUpdate // staged cost-parameter updates
+
+	// busy is the misuse detector of the concurrency contract above: 1
+	// while a mutating method runs, so overlapped calls fail fast.
+	busy atomic.Int32
 }
+
+// enter flags the optimizer as mutating; overlapping entry is a caller bug
+// (two goroutines sharing one optimizer without serialization).
+func (o *Optimizer) enter(op string) {
+	if !o.busy.CompareAndSwap(0, 1) {
+		panic("core: concurrent " + op + " on Optimizer; callers must serialize access (see concurrency contract)")
+	}
+}
+
+func (o *Optimizer) leave() { o.busy.Store(0) }
 
 // New creates an optimizer for the model's query with the given plan space
 // and pruning configuration.
@@ -227,6 +251,8 @@ func (o *Optimizer) SetBreadthFirst(b bool) { o.breadthFirst = b }
 // (the query's full relation set with no required property), runs the
 // delta worklist to fixpoint, and extracts the best plan.
 func (o *Optimizer) Optimize() (*relalg.Plan, error) {
+	o.enter("Optimize")
+	defer o.leave()
 	if o.optimized {
 		return o.extract()
 	}

@@ -28,6 +28,8 @@ type pendingUpdate struct {
 // paper's Figure 5 experiment, and the execution-feedback loop of Figure 6.
 // Call Reoptimize to propagate.
 func (o *Optimizer) UpdateCardFactor(s relalg.RelSet, factor float64) {
+	o.enter("UpdateCardFactor")
+	defer o.leave()
 	o.model.SetCardFactor(s, factor)
 	o.pending = append(o.pending, pendingUpdate{set: s})
 }
@@ -36,6 +38,8 @@ func (o *Optimizer) UpdateCardFactor(s relalg.RelSet, factor float64) {
 // the query — the paper's Figure 8 experiment ("Orders has updated scan
 // cost"). Call Reoptimize to propagate.
 func (o *Optimizer) UpdateScanCostFactor(rel int, factor float64) {
+	o.enter("UpdateScanCostFactor")
+	defer o.leave()
 	o.model.SetScanCostFactor(rel, factor)
 	o.pending = append(o.pending, pendingUpdate{isScan: true, rel: rel})
 }
@@ -45,6 +49,8 @@ func (o *Optimizer) UpdateScanCostFactor(rel int, factor float64) {
 // and Metrics.TouchedGroups afterwards report the size of the affected
 // region — the paper's "update ratio" numerators.
 func (o *Optimizer) Reoptimize() (*relalg.Plan, error) {
+	o.enter("Reoptimize")
+	defer o.leave()
 	if !o.optimized {
 		return nil, fmt.Errorf("core: Reoptimize before Optimize")
 	}

@@ -33,6 +33,19 @@ func (s *RunStats) counter(set relalg.RelSet) *int64 {
 	return n
 }
 
+// Snapshot copies the observed cardinalities into a plain map — the handoff
+// from one finished execution to the feedback consumer (the adaptive loop or
+// the serving layer's shared stats store). It must only be called after the
+// operator tree has been drained and closed: parallel operators merge their
+// per-worker counters at pipeline end, so earlier reads would race.
+func (s *RunStats) Snapshot() map[relalg.RelSet]int64 {
+	out := make(map[relalg.RelSet]int64, len(s.Cards))
+	for set, n := range s.Cards {
+		out[set] = *n
+	}
+	return out
+}
+
 // Compiler turns a physical plan into an operator tree over concrete data.
 type Compiler struct {
 	Q   *relalg.Query

@@ -3,6 +3,7 @@ package relalg
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // CmpOp is a comparison operator used in selection and (non-equi) join
@@ -123,11 +124,19 @@ type Query struct {
 	Filters []FilterPred
 	Agg     *AggSpec
 
-	adj [][]int // adjacency: relation -> join pred indices, built lazily
+	// adj is the join-graph adjacency (relation -> join pred indices),
+	// built on first use and published atomically: concurrent first calls
+	// may build it redundantly (the result is deterministic) but never
+	// race. Validate prewarms it so validated queries do no lazy work.
+	adj atomic.Pointer[[][]int]
 }
 
 // Validate checks structural sanity: relation ordinals in range, aliases
-// unique, predicates well-formed. Optimizers call it once up front.
+// unique, predicates well-formed. Optimizers call it once up front. It also
+// precomputes the join-graph adjacency so that a validated Query is
+// immutable and safe for concurrent read-only use — the serving layer
+// shares one Query instance between the cached optimizer and every
+// concurrently executing session.
 func (q *Query) Validate() error {
 	if len(q.Rels) == 0 {
 		return fmt.Errorf("query %s: no relations", q.Name)
@@ -175,6 +184,7 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("query %s: filter selectivity %v out of (0,1]", q.Name, p.Sel)
 		}
 	}
+	q.adjacency()
 	return nil
 }
 
@@ -195,14 +205,16 @@ func (q *Query) ScanPredsOf(i int) []ScanPred {
 }
 
 func (q *Query) adjacency() [][]int {
-	if q.adj == nil {
-		q.adj = make([][]int, len(q.Rels))
-		for pi, p := range q.Joins {
-			q.adj[p.L.Rel] = append(q.adj[p.L.Rel], pi)
-			q.adj[p.R.Rel] = append(q.adj[p.R.Rel], pi)
-		}
+	if p := q.adj.Load(); p != nil {
+		return *p
 	}
-	return q.adj
+	adj := make([][]int, len(q.Rels))
+	for pi, p := range q.Joins {
+		adj[p.L.Rel] = append(adj[p.L.Rel], pi)
+		adj[p.R.Rel] = append(adj[p.R.Rel], pi)
+	}
+	q.adj.Store(&adj)
+	return adj
 }
 
 // Connected reports whether the relations of s form a connected subgraph of

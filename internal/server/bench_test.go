@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/tpch"
+)
+
+func benchServer(b *testing.B, cat *catalog.Catalog, maxConcurrent int) *Server {
+	b.Helper()
+	srv, err := New(cat, Options{
+		MaxConcurrent: maxConcurrent,
+		Named:         tpch.Queries(),
+		Dict:          tpch.Dict(),
+		Date:          tpch.Date,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// BenchmarkServeThroughput measures end-to-end statement service time
+// through the session layer: "cold" pays the one-time from-scratch
+// optimization of a cache miss plus one execution; "cached" measures the
+// steady state — cache-hit prepare, execution, and the (converged, hence
+// skipped) feedback repair — driven by 1, 2 and 4 concurrent sessions.
+func BenchmarkServeThroughput(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42, Skew: 0.5})
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv := benchServer(b, cat, 1)
+			st, err := srv.Session().PrepareNamed("Q3S")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, sessions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cached/sessions=%d", sessions), func(b *testing.B) {
+			srv := benchServer(b, cat, sessions)
+			// Warm the entry past its repair phase.
+			warm, err := srv.Session().PrepareNamed("Q3S")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := warm.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					sess := srv.Session()
+					for i := s; i < b.N; i += sessions {
+						st, err := sess.PrepareNamed("Q3S")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := st.Exec(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+		})
+	}
+}

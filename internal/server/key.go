@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/relalg"
+)
+
+// CanonicalKey canonicalizes a query's structure into its plan-cache key.
+// The key is what makes the cache a cache of *prepared statements* rather
+// than of SQL strings: two statements that differ only in SQL spelling —
+// alias names, whitespace, predicate order, join-predicate direction —
+// canonicalize identically and therefore share one cache entry, i.e. one
+// live incremental optimizer and one feedback history.
+//
+// Relation ORDER is structural, not cosmetic: column ordinals are positional
+// (relalg.ColID.Rel indexes Query.Rels), so "FROM a, b" and "FROM b, a"
+// denote different coordinate systems and get distinct entries. That is a
+// deliberate conservatism — merging them would require remapping every
+// ColID — and costs only a second warm-up for the reordered spelling.
+func CanonicalKey(q *relalg.Query) string {
+	var b strings.Builder
+	b.WriteString("T:")
+	for i, r := range q.Rels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(r.Table)
+	}
+
+	scans := make([]string, len(q.Scans))
+	for i, p := range q.Scans {
+		scans[i] = fmt.Sprintf("%d.%d%s%d", p.Col.Rel, p.Col.Off, p.Op, p.Val)
+	}
+	sort.Strings(scans)
+	b.WriteString("|S:")
+	b.WriteString(strings.Join(scans, ","))
+
+	joins := make([]string, len(q.Joins))
+	for i, p := range q.Joins {
+		l, r := p.L, p.R
+		// Equi-joins are symmetric: normalize direction.
+		if r.Rel < l.Rel || (r.Rel == l.Rel && r.Off < l.Off) {
+			l, r = r, l
+		}
+		joins[i] = fmt.Sprintf("%d.%d=%d.%d", l.Rel, l.Off, r.Rel, r.Off)
+	}
+	sort.Strings(joins)
+	b.WriteString("|J:")
+	b.WriteString(strings.Join(joins, ","))
+
+	filters := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		filters[i] = fmt.Sprintf("%d.%d%s%d.%d+%d@%g",
+			f.L.Rel, f.L.Off, f.Op, f.R.Rel, f.R.Off, f.Off, f.Sel)
+	}
+	sort.Strings(filters)
+	b.WriteString("|F:")
+	b.WriteString(strings.Join(filters, ","))
+
+	b.WriteString("|A:")
+	if a := q.Agg; a != nil {
+		for _, c := range a.GroupBy {
+			fmt.Fprintf(&b, "g%d.%d,", c.Rel, c.Off)
+		}
+		for _, c := range a.Sums {
+			fmt.Fprintf(&b, "s%d.%d,", c.Rel, c.Off)
+		}
+		for _, c := range a.CountDistinct {
+			fmt.Fprintf(&b, "d%d.%d,", c.Rel, c.Off)
+		}
+		if a.CountAll {
+			b.WriteString("c*")
+		}
+	}
+	return b.String()
+}
+
+// keyHash renders a short digest of a cache key for protocol output and
+// metrics display.
+func keyHash(key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%08x", h.Sum32())
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EntryMetrics is one cache entry's counters — the paper's Figure 9 story
+// (repair cost vs full re-optimization cost) measured per prepared
+// statement across a live workload.
+type EntryMetrics struct {
+	Key   string // canonical cache key
+	Hash  string // short digest of Key
+	Query string // display name of the first query bound to the entry
+
+	Hits  int64 // prepares that found the entry live
+	Execs int64 // executions
+
+	FullOpts    int64         // from-scratch optimizations (1: init only)
+	FullOptTime time.Duration // time spent in them
+	Repairs     int64         // incremental repairs triggered by feedback
+	RepairTime  time.Duration // time spent repairing
+	Converged   int64         // executions whose feedback was sub-threshold
+	Touched     int64         // cumulative optimizer entries touched
+
+	PlanVersion   uint64 // current plan generation (1 = initial plan)
+	PlanSignature string // canonical structure of the current plan
+}
+
+// Metrics is a consistent-enough snapshot of the server's counters: entry
+// snapshots are taken per-entry under the entry lock, totals are sums over
+// the snapshot.
+type Metrics struct {
+	Sessions int64 // sessions opened
+	Entries  int   // live cache entries
+
+	Hits   int64 // prepares served from cache
+	Misses int64 // prepares that created (and optimized) an entry
+	Execs  int64
+
+	FullOpts    int64
+	FullOptTime time.Duration
+	Repairs     int64
+	RepairTime  time.Duration
+	Converged   int64
+
+	PerEntry []EntryMetrics // in entry creation order
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.RLock()
+	entries := make([]*planEntry, 0, len(s.order))
+	for _, key := range s.order {
+		entries = append(entries, s.entries[key])
+	}
+	s.mu.RUnlock()
+
+	m := Metrics{
+		Sessions: s.sessions.Load(),
+		Entries:  len(entries),
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+	}
+	for _, e := range entries {
+		em := e.snapshot()
+		m.Execs += em.Execs
+		m.FullOpts += em.FullOpts
+		m.FullOptTime += em.FullOptTime
+		m.Repairs += em.Repairs
+		m.RepairTime += em.RepairTime
+		m.Converged += em.Converged
+		m.PerEntry = append(m.PerEntry, em)
+	}
+	return m
+}
+
+func (e *planEntry) snapshot() EntryMetrics {
+	em := EntryMetrics{
+		Key:   e.key,
+		Hash:  keyHash(e.key),
+		Query: e.name,
+		Hits:  e.hits.Load(),
+		Execs: e.execs.Load(),
+	}
+	if snap := e.cur.Load(); snap != nil {
+		em.PlanVersion = snap.version
+		em.PlanSignature = snap.plan.Signature()
+	}
+	e.mu.Lock()
+	em.FullOpts = e.fullOpts
+	em.FullOptTime = e.fullOptTime
+	em.Repairs = e.repairs
+	em.RepairTime = e.repairTime
+	em.Converged = e.converged
+	em.Touched = e.touched
+	e.mu.Unlock()
+	return em
+}
+
+// String renders the snapshot as a compact report, one line per entry.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions=%d entries=%d hits=%d misses=%d execs=%d\n",
+		m.Sessions, m.Entries, m.Hits, m.Misses, m.Execs)
+	fmt.Fprintf(&b, "full-opts=%d (%v) repairs=%d (%v) converged-execs=%d\n",
+		m.FullOpts, m.FullOptTime.Round(time.Microsecond),
+		m.Repairs, m.RepairTime.Round(time.Microsecond), m.Converged)
+	for _, e := range m.PerEntry {
+		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d plan=v%d\n",
+			e.Hash, e.Query, e.Hits, e.Execs,
+			e.FullOpts, e.FullOptTime.Round(time.Microsecond),
+			e.Repairs, e.RepairTime.Round(time.Microsecond),
+			e.Converged, e.Touched, e.PlanVersion)
+	}
+	return b.String()
+}

@@ -1,0 +1,412 @@
+// Package server is the concurrent query service over the incremental
+// optimizer: the paper's optimizer-state-as-materialized-view kept alive
+// across executions AND across sessions. Its heart is a shared plan cache
+// keyed by canonical query structure (see CanonicalKey); each entry owns one
+// live core.Optimizer whose state survives between executions, so every run
+// of a prepared statement — from any session — feeds exact observed
+// cardinalities back as cost deltas and the cached plan is incrementally
+// REPAIRED, never re-planned from scratch. One session's executions improve
+// every other session's plan: the cache entry is the materialized view, the
+// feedback stream is its delta log.
+//
+// Concurrency model (audited against the contracts of the underlying
+// packages):
+//
+//   - catalog.Catalog, relalg.Query and relalg.Plan are immutable after
+//     construction (Query.Validate precomputes its lazy adjacency), so
+//     executions read them lock-free and in parallel;
+//   - each cache entry's mutable trio — cost.Model, core.Optimizer,
+//     aqp.Calibrator — is guarded by the entry mutex; the current
+//     {plan, version} pair is published behind one atomic pointer, so
+//     executions never block on a repair in progress (they run the
+//     previous plan and their feedback arrives a moment later);
+//   - the cache map itself is under a server-wide RWMutex, held only for
+//     lookup/insert (never during optimization or execution);
+//   - admission control bounds concurrent executions with a semaphore sized
+//     against the executor's Parallelism, so concurrent queries don't
+//     oversubscribe the morsel workers.
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aqp"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/relalg"
+	"repro/internal/sqlmini"
+)
+
+// Options configures a Server. The zero value is serviceable: default cost
+// parameters, full plan space, full pruning, serial execution, admission
+// sized to the machine.
+type Options struct {
+	// Params overrides the cost-model constants (nil: defaults).
+	Params *cost.Params
+	// Space restricts the plan space (nil: the full space).
+	Space *relalg.SpaceOptions
+	// Pruning selects the optimizer's pruning strategies (nil: all).
+	Pruning *core.Pruning
+
+	// Parallelism is the vectorized executor's morsel-driven worker count
+	// per query; <= 1 executes serially.
+	Parallelism int
+	// MaxConcurrent bounds concurrently executing queries (admission
+	// control). 0 derives it from GOMAXPROCS / Parallelism so the worker
+	// pool is sized against the executor and concurrent queries don't
+	// oversubscribe it.
+	MaxConcurrent int
+
+	// NonCumulative switches feedback calibration from cumulatively
+	// averaged observations (the default, the paper's AQP-Cumulative) to
+	// last-execution-only.
+	NonCumulative bool
+	// FeedbackThreshold suppresses feedback factors within this relative
+	// distance of the previously applied one (0: the default 0.2). It is
+	// what drives repairs to zero once a cached entry's statistics
+	// converge.
+	FeedbackThreshold float64
+
+	// Dict resolves string literals in SQL text to dictionary codes and
+	// Date encodes date literals; see internal/sqlmini.
+	Dict map[string]int64
+	Date func(y, m, d int) int64
+
+	// Named registers prepared workload queries addressable by name
+	// through Session.PrepareNamed and the line protocol's "query"
+	// command (e.g. the TPC-H workload).
+	Named map[string]*relalg.Query
+}
+
+// Server is the multi-session query service. Create one with New, open
+// sessions with Session, and serve wire clients with ServeConn /
+// ServeListener. All methods are safe for concurrent use.
+type Server struct {
+	cat  *catalog.Catalog
+	opts Options
+
+	sem chan struct{} // admission slots
+
+	mu      sync.RWMutex
+	entries map[string]*planEntry
+	order   []string // insertion order, for stable metrics listings
+
+	sessions atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// New builds a server over the catalog. The catalog must not be mutated
+// afterwards: executions read its rows and the cost model reads its
+// statistics concurrently and lock-free.
+func New(cat *catalog.Catalog, opts Options) (*Server, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("server: nil catalog")
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	if opts.MaxConcurrent < 1 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0) / opts.Parallelism
+		if opts.MaxConcurrent < 1 {
+			opts.MaxConcurrent = 1
+		}
+	}
+	if opts.FeedbackThreshold == 0 {
+		opts.FeedbackThreshold = 0.2
+	}
+	return &Server{
+		cat:     cat,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		entries: map[string]*planEntry{},
+	}, nil
+}
+
+// Catalog returns the catalog the server executes over.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// Session opens a new session. Sessions are cheap handles: all heavy state
+// (plans, optimizers, statistics) lives in the shared cache so that every
+// session benefits from every other session's executions.
+func (s *Server) Session() *Session {
+	return &Session{srv: s, ID: s.sessions.Add(1)}
+}
+
+// Session is one client's handle on the server. Safe for concurrent use,
+// though clients typically issue one request at a time.
+type Session struct {
+	srv *Server
+	ID  int64
+
+	execs atomic.Int64
+}
+
+// Execs reports the number of statements this session has executed.
+func (sess *Session) Execs() int64 { return sess.execs.Load() }
+
+// Prepare parses a SQL statement and binds it to the shared plan cache,
+// optimizing it from scratch only if no structurally equal statement is
+// cached yet.
+func (sess *Session) Prepare(sql string) (*Stmt, error) {
+	q, err := sqlmini.Parse(sql, sess.srv.cat, sqlmini.Options{
+		Dict: sess.srv.opts.Dict, Date: sess.srv.opts.Date,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess.PrepareQuery(q)
+}
+
+// PrepareNamed binds a statement from the Options.Named registry.
+func (sess *Session) PrepareNamed(name string) (*Stmt, error) {
+	q, ok := sess.srv.opts.Named[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown named query %q", name)
+	}
+	return sess.PrepareQuery(q)
+}
+
+// PrepareQuery binds an already-built query to the shared plan cache. The
+// query must not be mutated afterwards; validation (and the derived state
+// it publishes) is safe even when the same instance is first prepared from
+// several goroutines at once.
+func (sess *Session) PrepareQuery(q *relalg.Query) (*Stmt, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e, hit, err := sess.srv.entry(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: sess, entry: e, Hit: hit}, nil
+}
+
+// entry resolves (or creates) the cache entry for q and ensures it is
+// initialized — the only point where a from-scratch optimization ever
+// happens.
+func (s *Server) entry(q *relalg.Query) (*planEntry, bool, error) {
+	key := CanonicalKey(q)
+
+	s.mu.RLock()
+	e := s.entries[key]
+	s.mu.RUnlock()
+	hit := e != nil
+	if e == nil {
+		s.mu.Lock()
+		if e = s.entries[key]; e == nil {
+			e = &planEntry{key: key, q: q, name: q.Name}
+			s.entries[key] = e
+			s.order = append(s.order, key)
+		} else {
+			hit = true
+		}
+		s.mu.Unlock()
+	}
+	if hit {
+		s.hits.Add(1)
+		e.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	if err := e.ensureInit(s); err != nil {
+		return nil, hit, err
+	}
+	return e, hit, nil
+}
+
+// planEntry is one cache slot: the live incremental optimizer for one
+// canonical query structure, plus its feedback calibration state and
+// metrics. See the package comment for the locking discipline.
+type planEntry struct {
+	key  string
+	q    *relalg.Query
+	name string
+
+	// cur is the published {plan, version} pair, swapped as one pointer on
+	// every repair so executions always report the generation they
+	// actually ran.
+	cur   atomic.Pointer[planVersion]
+	hits  atomic.Int64
+	execs atomic.Int64
+
+	mu      sync.Mutex // guards everything below
+	model   *cost.Model
+	opt     *core.Optimizer
+	cal     *aqp.Calibrator
+	initErr error
+
+	fullOpts    int64 // from-scratch optimizations (1, at initialization)
+	fullOptTime time.Duration
+	repairs     int64 // incremental Reoptimize calls
+	repairTime  time.Duration
+	converged   int64 // executions whose feedback was within threshold
+	touched     int64 // cumulative optimizer entries touched by repairs
+}
+
+// planVersion is one published plan generation. The tree is immutable;
+// version 1 is the initial optimization, each repair bumps it.
+type planVersion struct {
+	plan    *relalg.Plan
+	version uint64
+}
+
+// ensureInit builds the entry's model and optimizer and runs the single
+// from-scratch optimization, exactly once. Errors are sticky: a query whose
+// model cannot be built fails the same way on every prepare.
+func (e *planEntry) ensureInit(s *Server) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.opt != nil || e.initErr != nil {
+		return e.initErr
+	}
+	params := cost.DefaultParams()
+	if s.opts.Params != nil {
+		params = *s.opts.Params
+	}
+	space := relalg.DefaultSpace()
+	if s.opts.Space != nil {
+		space = *s.opts.Space
+	}
+	mode := core.PruneAll
+	if s.opts.Pruning != nil {
+		mode = *s.opts.Pruning
+	}
+	m, err := cost.NewModel(e.q, s.cat, params)
+	if err != nil {
+		e.initErr = err
+		return err
+	}
+	opt, err := core.New(m, space, mode)
+	if err != nil {
+		e.initErr = err
+		return err
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		e.initErr = err
+		return err
+	}
+	e.model = m
+	e.opt = opt
+	e.cal = aqp.NewCalibrator(!s.opts.NonCumulative, s.opts.FeedbackThreshold)
+	e.fullOpts++
+	e.fullOptTime += opt.Metrics().Elapsed
+	e.cur.Store(&planVersion{plan: plan, version: 1})
+	return nil
+}
+
+// feedback folds one execution's observed cardinalities into the shared
+// stats store and incrementally repairs the cached plan when any factor
+// moved beyond the feedback threshold. This is the §4 view-maintenance loop
+// running as a service: UpdateCardFactor stages the deltas, Reoptimize
+// repairs only the affected region, and the repaired plan is published
+// atomically for every session.
+func (e *planEntry) feedback(cards map[relalg.RelSet]int64) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	changed := e.cal.Observe(cards, e.model)
+	if len(changed) == 0 {
+		e.converged++
+		return false, nil
+	}
+	for set, f := range changed {
+		e.opt.UpdateCardFactor(set, f)
+	}
+	plan, err := e.opt.Reoptimize()
+	if err != nil {
+		return false, err
+	}
+	met := e.opt.Metrics()
+	e.repairs++
+	e.repairTime += met.Elapsed
+	e.touched += int64(met.TouchedEntries)
+	e.cur.Store(&planVersion{plan: plan, version: e.cur.Load().version + 1})
+	return true, nil
+}
+
+// Stmt is a prepared statement: a session's handle on a shared cache entry.
+type Stmt struct {
+	sess  *Session
+	entry *planEntry
+	// Hit reports whether Prepare found a live cache entry (true) or paid
+	// the one-time from-scratch optimization (false).
+	Hit bool
+}
+
+// CacheKey returns the statement's canonical cache key.
+func (st *Stmt) CacheKey() string { return st.entry.key }
+
+// Plan returns a snapshot of the current cached plan. The tree is immutable;
+// later repairs swap in fresh trees without touching it.
+func (st *Stmt) Plan() *relalg.Plan { return st.entry.cur.Load().plan }
+
+// PlanVersion returns the current plan generation (1 = the initial plan).
+func (st *Stmt) PlanVersion() uint64 { return st.entry.cur.Load().version }
+
+// Query returns the canonical query the statement is bound to.
+func (st *Stmt) Query() *relalg.Query { return st.entry.q }
+
+// Result is one execution's outcome.
+type Result struct {
+	// Rows is the full result set (aggregated rows when the query
+	// aggregates). Row slices are immutable and safe to retain.
+	Rows []exec.Row
+	// PlanVersion identifies the cached plan generation that executed;
+	// it converges once feedback stabilizes.
+	PlanVersion uint64
+	// Repaired reports whether this execution's feedback triggered an
+	// incremental repair of the cached plan.
+	Repaired bool
+	// Elapsed is the execution (not optimization) wall time.
+	Elapsed time.Duration
+}
+
+// Exec executes the prepared statement: admission, snapshot the cached plan,
+// run it on the vectorized executor, then feed the observed cardinalities
+// back through the entry's live optimizer. Concurrent Execs of the same
+// statement are safe and run in parallel up to the admission bound; the
+// repair they trigger is serialized per entry.
+func (st *Stmt) Exec() (*Result, error) {
+	srv := st.sess.srv
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	e := st.entry
+	snap := e.cur.Load()
+
+	start := time.Now()
+	comp := &exec.Compiler{Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism}
+	v, stats, err := comp.CompileVec(snap.plan)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.DrainVec(v)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	e.execs.Add(1)
+	st.sess.execs.Add(1)
+
+	repaired, err := e.feedback(stats.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, PlanVersion: snap.version, Repaired: repaired, Elapsed: elapsed}, nil
+}
+
+// Query is the one-shot convenience: Prepare + Exec.
+func (sess *Session) Query(sql string) (*Result, error) {
+	st, err := sess.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st.Exec()
+}

@@ -33,6 +33,22 @@ const (
 	NumFlags
 )
 
+// Dict returns the string-literal dictionary of the generated schema: the
+// region names (r_name), market segments (c_mktsegment) and return flags
+// (l_returnflag) mapped to their integer codes. It is what lets ad-hoc SQL
+// like "WHERE r.r_name = 'ASIA'" resolve against the integer-encoded data —
+// pass it (with Date) to sqlmini / repro.ParseSQL / the server options.
+func Dict() map[string]int64 {
+	return map[string]int64{
+		// region codes follow TPC-H alphabetical order
+		"AFRICA": 0, "AMERICA": 1, "ASIA": 2, "EUROPE": 3, "MIDDLE EAST": 4,
+		"AUTOMOBILE": SegAutomobile, "BUILDING": SegBuilding,
+		"FURNITURE": SegFurniture, "HOUSEHOLD": SegHousehold,
+		"MACHINERY": SegMachinery,
+		"A":         FlagA, "N": FlagN, "R": FlagR,
+	}
+}
+
 // Date returns the day offset of y-m-d from 1992-01-01 (months and days
 // 1-based, 30-day months — sufficient for selectivity realism).
 func Date(y, m, d int) int64 {

@@ -18,6 +18,11 @@
 //     option, exact per-operator cardinality feedback, and a row-at-a-time
 //     compatibility shim;
 //   - internal/aqp — the adaptive query processing loop;
+//   - internal/server — the concurrent query service: sessions over a
+//     shared plan cache whose entries each hold a live incremental
+//     optimizer, so every execution's feedback incrementally repairs the
+//     cached plan for all sessions (surfaced here as NewServer /
+//     Session / Prepare / Exec, and as a wire protocol by cmd/reproserve);
 //   - internal/tpch, internal/linearroad — the paper's workloads;
 //   - internal/deltalog — a generic counted delta-dataflow engine used as a
 //     differential-testing oracle for the optimizer;
@@ -33,6 +38,20 @@
 //	// A runtime statistics update arrives: re-optimize incrementally.
 //	opt.UpdateCardFactor(someExpr, 4.0)
 //	plan, _ = opt.Reoptimize()
+//
+// # Serving
+//
+// For concurrent workloads, run a Server instead of owning an Optimizer:
+// prepared statements are cached by canonical query structure, each cache
+// entry keeps its incremental optimizer alive across executions and
+// sessions, and execution feedback repairs cached plans in place:
+//
+//	srv, _ := repro.NewServer(cat, repro.ServerOptions{
+//		Dict: tpch.Dict(), Date: tpch.Date, Named: tpch.Queries(),
+//	})
+//	sess := srv.Session()
+//	st, _ := sess.Prepare("SELECT ... FROM ... WHERE ...")
+//	res, _ := st.Exec() // feeds observed cardinalities back to the cache
 package repro
 
 import (
@@ -40,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/relalg"
+	"repro/internal/server"
 	"repro/internal/sqlmini"
 )
 
@@ -140,3 +160,35 @@ type SQLOptions struct {
 	Dict map[string]int64
 	Date func(y, m, d int) int64
 }
+
+// ---- serving layer (internal/server) ----
+
+// Server is the multi-session query service: a shared plan cache of live
+// incremental optimizers with admission control and per-entry metrics. See
+// internal/server for the full documentation.
+type Server = server.Server
+
+// ServerOptions configures NewServer.
+type ServerOptions = server.Options
+
+// ServerSession is one client's handle on a Server.
+type ServerSession = server.Session
+
+// Stmt is a prepared statement bound to the shared plan cache.
+type Stmt = server.Stmt
+
+// ExecResult is one statement execution's outcome.
+type ExecResult = server.Result
+
+// ServerMetrics is a snapshot of a Server's cache and repair counters.
+type ServerMetrics = server.Metrics
+
+// NewServer builds a concurrent query service over the catalog. The catalog
+// must not be mutated afterwards.
+func NewServer(cat *catalog.Catalog, o ServerOptions) (*Server, error) {
+	return server.New(cat, o)
+}
+
+// CanonicalQueryKey exposes the plan-cache key derivation: two queries with
+// equal keys share a cache entry (one live optimizer, one feedback history).
+func CanonicalQueryKey(q *relalg.Query) string { return server.CanonicalKey(q) }
