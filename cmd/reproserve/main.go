@@ -9,6 +9,13 @@
 //	reproserve -listen :7878           # TCP; try: nc localhost 7878
 //	echo 'run SELECT ... FROM ...' | reproserve
 //
+// The plan cache is bounded with -max-entries (LRU) and -ttl (idle expiry);
+// eviction is safe because learned statistics live in the server-wide
+// statistics plane and warm-start re-admitted entries. On SIGINT/SIGTERM the
+// server shuts down gracefully: it stops accepting connections, drains
+// in-flight executions through the admission semaphore, and writes the final
+// metrics report to stderr.
+//
 // Protocol (one command per line; see internal/server/proto.go):
 //
 //	query q5 Q5          bind the named TPC-H Q5 as statement "q5"
@@ -17,17 +24,21 @@
 //	rows s1              execute and stream result rows
 //	run SELECT...        one-shot prepare + exec
 //	explain q5           show the current cached plan
-//	metrics              cache hit/miss, repair vs full-opt counters
+//	metrics              cache hit/miss, repair vs full-opt, stats plane
 //	quit
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/tpch"
@@ -39,12 +50,16 @@ func main() {
 	skew := flag.Float64("skew", 0, "TPC-H Zipf skew on foreign keys")
 	parallelism := flag.Int("parallelism", 1, "executor pipeline workers per query; <= 1 is serial")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission bound on concurrently executing queries; 0 sizes it against parallelism")
+	maxEntries := flag.Int("max-entries", 0, "plan cache entry bound (LRU eviction); 0 is unbounded")
+	ttl := flag.Duration("ttl", 0, "plan cache idle expiry (e.g. 10m); 0 never expires")
 	flag.Parse()
 
 	cat := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42, Skew: *skew})
 	srv, err := repro.NewServer(cat, repro.ServerOptions{
 		Parallelism:   *parallelism,
 		MaxConcurrent: *maxConcurrent,
+		MaxEntries:    *maxEntries,
+		TTL:           *ttl,
 		Dict:          tpch.Dict(),
 		Date:          tpch.Date,
 		Named:         tpch.Queries(),
@@ -53,21 +68,48 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	if *listen == "" {
-		if err := srv.ServeConn(stdio{}); err != nil {
-			log.Fatal(err)
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeConn(stdio{}) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				log.Fatal(err)
+			}
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "reproserve: %v, draining in-flight executions\n", s)
 		}
+		shutdown(srv)
 		return
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "reproserve: listening on %s (sf=%g, parallelism=%d)\n",
-		l.Addr(), *sf, *parallelism)
-	if err := srv.ServeListener(l); err != nil {
+	fmt.Fprintf(os.Stderr, "reproserve: listening on %s (sf=%g, parallelism=%d, max-entries=%d, ttl=%v)\n",
+		l.Addr(), *sf, *parallelism, *maxEntries, *ttl)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "reproserve: %v, stop accepting, draining in-flight executions\n", s)
+		l.Close()
+	}()
+	if err := srv.ServeListener(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
+	shutdown(srv)
+}
+
+// shutdown drains the admission semaphore and flushes the final metrics
+// report: the cache and statistics-plane counters a long-running serve
+// accumulated, written where an operator (or test harness) can collect them.
+func shutdown(srv *repro.Server) {
+	start := time.Now()
+	srv.Shutdown()
+	fmt.Fprintf(os.Stderr, "reproserve: drained in %v, final metrics:\n%s",
+		time.Since(start).Round(time.Millisecond), srv.Metrics())
 }
 
 // stdio glues stdin and stdout into one io.ReadWriter for ServeConn.

@@ -116,7 +116,7 @@ func TestFeedbackCalibration(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := ctl.Model()
-	for set := range ctl.cal.applied {
+	for set := range ctl.cal.local {
 		est := m.Card(set)
 		obs := ctl.obsForTest(set)
 		if obs == 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/fbstore"
 	"repro/internal/relalg"
 )
 
@@ -16,6 +17,16 @@ import (
 // is the same loop, driven by prepared-statement executions instead of
 // stream slices.
 //
+// Observation state lives in an fbstore.StatsStore rather than in the
+// calibrator itself, keyed by a canonical subexpression fingerprint so the
+// state is meaningful beyond the one query whose RelSets index it. A private
+// store (NewCalibrator) reproduces the classic per-query behavior; a shared
+// store (NewSharedCalibrator, used by the server) makes every calibrator a
+// reader and writer of one workload-wide statistics plane: structurally
+// different queries over the same tables calibrate against the same
+// cumulative history, and WarmStart seeds a fresh model with factors other
+// queries already converged to.
+//
 // Factors are CALIBRATED: overrides compose multiplicatively up the subset
 // lattice (an override on S scales every expression containing S), so the
 // factor for S must be computed against the estimate that already includes
@@ -26,7 +37,8 @@ import (
 //
 // A Calibrator is not safe for concurrent use; callers serialize it together
 // with the cost.Model it feeds (the Controller is single-threaded, the
-// server holds the per-cache-entry mutex).
+// server holds the per-cache-entry mutex). The shared store underneath is
+// concurrency-safe on its own.
 type Calibrator struct {
 	// Cumulative selects whether factors derive from cumulatively averaged
 	// observations (the paper's AQP-Cumulative) or from the last execution
@@ -36,35 +48,72 @@ type Calibrator struct {
 	// distance of the previously applied one: a cost update that would not
 	// change any decision is not worth propagating, and it is what lets
 	// re-optimization overhead converge to zero as statistics stabilize
-	// (Figure 9).
+	// (Figure 9). The distance is measured in ratio space —
+	// max(f,prev)/min(f,prev)-1 <= Threshold — so growth and shrink
+	// suppress symmetrically.
 	Threshold float64
 
-	obsSum  map[relalg.RelSet]float64 // sum of observations per expression
-	obsN    map[relalg.RelSet]float64 // number of observations
-	applied map[relalg.RelSet]float64 // last factor actually emitted
-	lastObs map[relalg.RelSet]float64 // most recent raw observations
+	store *fbstore.StatsStore
+	key   func(relalg.RelSet) string // RelSet -> canonical store key
+	keys  map[relalg.RelSet]string   // memoized translations
+	local map[relalg.RelSet]float64  // factor installed in THIS model
 }
 
-// NewCalibrator builds a calibrator; threshold 0 selects the default 0.2.
+// NewCalibrator builds a calibrator over a private statistics store;
+// threshold 0 selects the default 0.2. Observation state is keyed by the
+// query's own RelSets, so behavior matches the classic per-query calibrator.
 func NewCalibrator(cumulative bool, threshold float64) *Calibrator {
+	return NewSharedCalibrator(fbstore.New(), nil, cumulative, threshold)
+}
+
+// NewSharedCalibrator builds a calibrator over a shared statistics store.
+// key translates the caller's positional RelSets into the store's canonical
+// fingerprints (typically relalg.Fingerprinter.Fingerprint for the same
+// query); nil keys by the RelSet itself, which is only meaningful when the
+// store is private.
+func NewSharedCalibrator(store *fbstore.StatsStore, key func(relalg.RelSet) string, cumulative bool, threshold float64) *Calibrator {
 	if threshold == 0 {
 		threshold = 0.2
+	}
+	if key == nil {
+		key = func(s relalg.RelSet) string { return s.String() }
 	}
 	return &Calibrator{
 		Cumulative: cumulative,
 		Threshold:  threshold,
-		obsSum:     map[relalg.RelSet]float64{},
-		obsN:       map[relalg.RelSet]float64{},
-		applied:    map[relalg.RelSet]float64{},
-		lastObs:    map[relalg.RelSet]float64{},
+		store:      store,
+		key:        key,
+		keys:       map[relalg.RelSet]string{},
+		local:      map[relalg.RelSet]float64{},
 	}
 }
 
+// keyOf memoizes the RelSet -> store-key translation: each entry's local
+// sets are translated to fingerprints once and reused on every execution.
+func (c *Calibrator) keyOf(set relalg.RelSet) string {
+	k, ok := c.keys[set]
+	if !ok {
+		k = c.key(set)
+		c.keys[set] = k
+	}
+	return k
+}
+
+// withinThreshold reports whether factor is within the relative distance
+// Threshold of prev, measured symmetrically in ratio space.
+func (c *Calibrator) withinThreshold(factor, prev float64) bool {
+	hi, lo := factor, prev
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return hi/lo-1 <= c.Threshold
+}
+
 // Observe folds one execution's observed cardinalities (a RunStats.Snapshot)
-// into the calibration state, applies the resulting override factors to the
-// model, and returns the factors that moved beyond the threshold — empty
-// when statistics have converged and no re-optimization is warranted. Each
-// returned factor has already been installed with Model.SetCardFactor;
+// into the shared calibration state, applies the resulting override factors
+// to the model, and returns the factors that moved beyond the threshold —
+// empty when statistics have converged and no re-optimization is warranted.
+// Each returned factor has already been installed with Model.SetCardFactor;
 // incremental callers additionally stage it with Optimizer.UpdateCardFactor
 // (the model mutation is idempotent).
 func (c *Calibrator) Observe(cards map[relalg.RelSet]int64, m *cost.Model) map[relalg.RelSet]float64 {
@@ -84,25 +133,18 @@ func (c *Calibrator) Observe(cards map[relalg.RelSet]int64, m *cost.Model) map[r
 		if obs < 0.5 {
 			obs = 0.5 // zero observations still carry information
 		}
-		c.lastObs[set] = obs
-		var est float64
-		if c.Cumulative {
-			c.obsSum[set] += obs
-			c.obsN[set]++
-			est = c.obsSum[set] / c.obsN[set]
-		} else {
-			est = obs
-		}
+		est := c.store.Fold(c.keyOf(set), obs, c.Cumulative)
 		// Estimate for set under the corrections applied so far,
 		// excluding set's own current factor.
 		inherited := m.Card(set) / m.CardFactor(set)
 		factor := est / inherited
 		factor = math.Min(math.Max(factor, 1e-6), 1e9)
-		prev, ok := c.applied[set]
-		if ok && math.Abs(factor-prev) <= c.Threshold*prev {
+		prev, ok := c.local[set]
+		if ok && c.withinThreshold(factor, prev) {
 			continue // statistically unchanged; no delta worth emitting
 		}
-		c.applied[set] = factor
+		c.local[set] = factor
+		c.store.SetFactor(c.keyOf(set), factor)
 		if changed == nil {
 			changed = map[relalg.RelSet]float64{}
 		}
@@ -114,6 +156,29 @@ func (c *Calibrator) Observe(cards map[relalg.RelSet]int64, m *cost.Model) map[r
 	return changed
 }
 
+// WarmStart seeds the model with the factors the shared store already holds
+// for the candidate expressions, before the model's first optimization, and
+// primes the suppression state so that a first execution whose observations
+// match the workload's converged statistics triggers no repair at all. It
+// returns the number of factors seeded. Factors compose multiplicatively up
+// the subset lattice exactly as they did in the queries that learned them,
+// so seeding every known subset reproduces the converged estimates.
+func (c *Calibrator) WarmStart(m *cost.Model, sets []relalg.RelSet) int {
+	n := 0
+	for _, set := range sets {
+		f, ok := c.store.Factor(c.keyOf(set))
+		if !ok {
+			continue
+		}
+		c.local[set] = f
+		m.SetCardFactor(set, f)
+		n++
+	}
+	return n
+}
+
 // LastObs returns the most recent raw observation for an expression (0 when
 // never observed).
-func (c *Calibrator) LastObs(set relalg.RelSet) float64 { return c.lastObs[set] }
+func (c *Calibrator) LastObs(set relalg.RelSet) float64 {
+	return c.store.LastObs(c.keyOf(set))
+}

@@ -1,0 +1,91 @@
+package aqp
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/fbstore"
+	"repro/internal/linearroad"
+	"repro/internal/relalg"
+)
+
+// TestThresholdSymmetric: the suppression test is the doc-comment's
+// "relative distance", measured in ratio space so growth and shrink
+// suppress identically. The old |f-prev| <= T*prev form suppressed shrinks
+// of up to T*prev but growths of up to T*prev too — asymmetric in ratio
+// terms: a factor moving 1.0 -> 0.833 (ratio 1.2) was suppressed while
+// 1.0 -> 1.21 (ratio 1.21) was not, yet 0.80 (|delta| = T exactly) was
+// also suppressed even though its ratio 1.25 exceeds 1+T.
+func TestThresholdSymmetric(t *testing.T) {
+	c := NewCalibrator(true, 0.2)
+	cases := []struct {
+		factor, prev float64
+		within       bool
+	}{
+		{1.2, 1.0, true}, // ratio exactly 1+T
+		{1.0, 1.2, true}, // same pair, shrink direction
+		{1.0 / 1.2, 1.0, true},
+		{1.0, 1.0 / 1.2, true},
+		{1.21, 1.0, false},
+		{1.0, 1.21, false},
+		{0.80, 1.0, false}, // ratio 1.25 > 1+T; old asymmetric test passed it
+		{1.0, 0.80, false},
+		{5, 5, true},
+	}
+	for _, tc := range cases {
+		if got := c.withinThreshold(tc.factor, tc.prev); got != tc.within {
+			t.Errorf("withinThreshold(%v, %v) = %v, want %v", tc.factor, tc.prev, got, tc.within)
+		}
+	}
+}
+
+// TestSharedCalibratorsShareHistory: two calibrators over one store and one
+// key translation fold into the same cumulative history, so the second
+// calibrator's estimate reflects the first one's observations.
+func TestSharedCalibratorsShareHistory(t *testing.T) {
+	store := fbstore.New()
+	key := func(s relalg.RelSet) string { return "expr" } // one expression
+	a := NewSharedCalibrator(store, key, true, 0.2)
+	b := NewSharedCalibrator(store, key, true, 0.2)
+
+	set := relalg.Single(0)
+	if est := mustFold(a, store, set, 100); est != 100 {
+		t.Fatalf("first fold estimate = %v, want 100", est)
+	}
+	// b sees a's observation in the cumulative average.
+	if est := mustFold(b, store, set, 200); est != 150 {
+		t.Fatalf("cross-calibrator cumulative estimate = %v, want 150", est)
+	}
+	if n := store.Len(); n != 1 {
+		t.Fatalf("store keys = %d, want 1 shared key", n)
+	}
+}
+
+func mustFold(c *Calibrator, store *fbstore.StatsStore, set relalg.RelSet, obs float64) float64 {
+	return store.Fold(c.keyOf(set), obs, c.Cumulative)
+}
+
+// TestWarmStartSeedsAndSuppresses: a calibrator warm-started from a store
+// factor installs it in the model and treats a matching re-derivation as
+// converged (no emitted change).
+func TestWarmStartSeedsAndSuppresses(t *testing.T) {
+	store := fbstore.New()
+	key := func(s relalg.RelSet) string { return "k" + s.String() }
+	store.SetFactor("k{0}", 4.0)
+
+	c := NewSharedCalibrator(store, key, true, 0.2)
+	set := relalg.Single(0)
+	m, err := cost.NewModel(linearroad.SegTollS(), linearroad.NewWindows().Catalog(), cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.WarmStart(m, []relalg.RelSet{set}); n != 1 {
+		t.Fatalf("warm start seeded %d factors, want 1", n)
+	}
+	if f, ok := c.local[set]; !ok || f != 4.0 {
+		t.Fatalf("local suppression state not primed: %v %v", f, ok)
+	}
+	if f := m.CardFactor(set); f != 4.0 {
+		t.Fatalf("model not seeded: CardFactor = %v, want 4", f)
+	}
+}

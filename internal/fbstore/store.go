@@ -1,0 +1,167 @@
+// Package fbstore is the server-wide feedback statistics plane: a concurrent
+// store of calibrated cardinality-observation state keyed by canonical
+// subexpression fingerprint (relalg.Fingerprinter). It is the paper's move —
+// derived optimizer state is durable, incrementally maintainable data —
+// applied one level up: where a plan-cache entry materializes one query's
+// optimizer state, the store materializes what the whole workload has
+// learned about the data, so that two structurally different queries over
+// the same tables calibrate against one shared history, and evicting a plan
+// never forgets the statistics that shaped it.
+//
+// The store holds per-fingerprint observation state (cumulative sum and
+// count, the last raw observation, and the last applied factor). Calibration
+// itself — turning observations into model factors, thresholding, staging
+// optimizer deltas — stays in aqp.Calibrator, which reads and writes through
+// a shared store; the store is deliberately dumb so its concurrency story
+// stays trivial: a RWMutex map of entries, each entry with its own mutex,
+// every operation a short critical section.
+package fbstore
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stat is one fingerprint's calibration state.
+type stat struct {
+	mu       sync.Mutex
+	obsSum   float64 // sum of observations
+	obsN     float64 // number of observations
+	lastObs  float64 // most recent raw observation
+	lastSeen time.Time
+	factor   float64 // last factor a calibrator applied beyond threshold
+	hasFac   bool
+}
+
+// StatsStore maps canonical subexpression fingerprints to calibration state.
+// Safe for concurrent use by any number of calibrators.
+type StatsStore struct {
+	mu sync.RWMutex
+	m  map[string]*stat
+}
+
+// New builds an empty store.
+func New() *StatsStore {
+	return &StatsStore{m: map[string]*stat{}}
+}
+
+func (s *StatsStore) get(key string, create bool) *stat {
+	s.mu.RLock()
+	e := s.m[key]
+	s.mu.RUnlock()
+	if e != nil || !create {
+		return e
+	}
+	s.mu.Lock()
+	if e = s.m[key]; e == nil {
+		e = &stat{}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// Fold records one observation for key and returns the calibration estimate:
+// the cumulative average when cumulative is true, the observation itself
+// otherwise. Cumulative sums are commutative, so interleaved folds from
+// concurrent calibrators land in a consistent state regardless of order.
+func (s *StatsStore) Fold(key string, obs float64, cumulative bool) float64 {
+	e := s.get(key, true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obsSum += obs
+	e.obsN++
+	e.lastObs = obs
+	e.lastSeen = time.Now()
+	if cumulative {
+		return e.obsSum / e.obsN
+	}
+	return obs
+}
+
+// SetFactor records the factor a calibrator just applied for key. Last
+// writer wins; concurrent writers have folded near-identical observations,
+// so their factors agree to within the feedback threshold.
+func (s *StatsStore) SetFactor(key string, factor float64) {
+	e := s.get(key, true)
+	e.mu.Lock()
+	e.factor = factor
+	e.hasFac = true
+	e.mu.Unlock()
+}
+
+// Factor returns the last applied factor for key, and whether one exists.
+// It is the warm-start read: a fresh cost model seeded with these factors
+// starts where the workload's learning left off.
+func (s *StatsStore) Factor(key string) (float64, bool) {
+	e := s.get(key, false)
+	if e == nil {
+		return 1, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.factor, e.hasFac
+}
+
+// LastObs returns the most recent raw observation for key (0 when never
+// observed).
+func (s *StatsStore) LastObs(key string) float64 {
+	e := s.get(key, false)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastObs
+}
+
+// Len reports the number of fingerprints with recorded state.
+func (s *StatsStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// StatSnapshot is one fingerprint's exported state.
+type StatSnapshot struct {
+	Key      string
+	ObsN     float64
+	ObsAvg   float64 // cumulative average observation
+	LastObs  float64
+	LastSeen time.Time
+	Factor   float64 // last applied factor (1 when none applied yet)
+	Applied  bool    // whether any factor has been applied
+}
+
+// Snapshot exports the store for metrics, sorted by key. Each entry is
+// internally consistent (copied under its lock); the set of entries is the
+// store's contents at the moment of the map copy.
+func (s *StatsStore) Snapshot() []StatSnapshot {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	stats := make([]*stat, 0, len(s.m))
+	for k, e := range s.m {
+		keys = append(keys, k)
+		stats = append(stats, e)
+	}
+	s.mu.RUnlock()
+
+	out := make([]StatSnapshot, len(keys))
+	for i, e := range stats {
+		e.mu.Lock()
+		out[i] = StatSnapshot{
+			Key: keys[i], ObsN: e.obsN, LastObs: e.lastObs,
+			LastSeen: e.lastSeen, Factor: 1, Applied: e.hasFac,
+		}
+		if e.obsN > 0 {
+			out[i].ObsAvg = e.obsSum / e.obsN
+		}
+		if e.hasFac {
+			out[i].Factor = e.factor
+		}
+		e.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/fbstore"
 	"repro/internal/tpch"
 )
 
@@ -80,4 +81,66 @@ func BenchmarkServeThroughput(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkWarmStart compares the first optimization a cache miss pays when
+// the statistics plane is empty ("cold") against one seeded by a
+// structurally different query's executions ("seeded"): the seeded miss
+// optimizes against already-converged factors and its first executions
+// skip the repair phase entirely. Measured per miss by re-creating the
+// server each iteration; "seeded" shares one warmed fbstore.StatsStore.
+func BenchmarkWarmStart(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42, Skew: 0.5})
+	const warmSQL = `SELECT c.c_custkey FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'MACHINERY'`
+	// Same semantics, FROM order reversed: a distinct canonical key whose
+	// subexpressions all fingerprint-match the warm query's.
+	const missSQL = `SELECT o2.o_custkey FROM orders o2, customer c2
+		WHERE c2.c_custkey = o2.o_custkey AND c2.c_mktsegment = 'MACHINERY'`
+
+	prepare := func(b *testing.B, store *fbstore.StatsStore) {
+		b.Helper()
+		srv, err := New(cat, Options{
+			Stats: store, Dict: tpch.Dict(), Date: tpch.Date,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := srv.Session().Prepare(missSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Exec(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prepare(b, nil) // fresh private store: nothing to seed from
+		}
+	})
+
+	b.Run("seeded", func(b *testing.B) {
+		store := fbstore.New()
+		warmSrv, err := New(cat, Options{
+			Stats: store, Dict: tpch.Dict(), Date: tpch.Date,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := warmSrv.Session().Prepare(warmSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := warm.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prepare(b, store)
+		}
+	})
 }

@@ -80,9 +80,10 @@ func CanonicalKey(q *relalg.Query) string {
 }
 
 // keyHash renders a short digest of a cache key for protocol output and
-// metrics display.
+// metrics display. FNV-64: 32-bit digests collide visibly once ad-hoc
+// workloads push thousands of distinct keys through metrics output.
 func keyHash(key string) string {
-	h := fnv.New32a()
+	h := fnv.New64a()
 	h.Write([]byte(key))
-	return fmt.Sprintf("%08x", h.Sum32())
+	return fmt.Sprintf("%016x", h.Sum64())
 }

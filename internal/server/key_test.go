@@ -1,0 +1,129 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+// selfJoin builds a customer-customer self-join with configurable join
+// columns — the CanonicalKey edge case where table names alone cannot
+// distinguish the relations.
+func selfJoin(name string, lOff, rOff int) *relalg.Query {
+	return &relalg.Query{
+		Name: name,
+		Rels: []relalg.RelRef{
+			{Alias: "a", Table: "customer"},
+			{Alias: "b", Table: "customer"},
+		},
+		Joins: []relalg.JoinPred{
+			{L: relalg.ColID{Rel: 0, Off: lOff}, R: relalg.ColID{Rel: 1, Off: rOff}},
+		},
+	}
+}
+
+func TestCanonicalKeySelfJoin(t *testing.T) {
+	a := CanonicalKey(selfJoin("sj1", 0, 3))
+	b := CanonicalKey(selfJoin("sj2", 0, 3))
+	if a != b {
+		t.Fatalf("identical self-joins got distinct keys:\n%s\n%s", a, b)
+	}
+	// Same tables, different join columns: distinct structures.
+	if c := CanonicalKey(selfJoin("sj3", 0, 4)); c == a {
+		t.Fatalf("self-joins on different columns share key %s", a)
+	}
+	// Direction normalization must not conflate the two sides of a
+	// self-join: a.c0 = b.c3 vs a.c3 = b.c0 relate different columns of
+	// different relation ordinals.
+	if d := CanonicalKey(selfJoin("sj4", 3, 0)); d == a {
+		t.Fatalf("flipped self-join columns share key %s", a)
+	}
+}
+
+func TestCanonicalKeyDuplicatePredicates(t *testing.T) {
+	base := func(dup bool) *relalg.Query {
+		q := &relalg.Query{
+			Name: "dup",
+			Rels: []relalg.RelRef{{Alias: "c", Table: "customer"}},
+			Scans: []relalg.ScanPred{
+				{Col: relalg.ColID{Rel: 0, Off: 1}, Op: relalg.CmpLT, Val: 9},
+			},
+		}
+		if dup {
+			q.Scans = append(q.Scans, q.Scans[0])
+		}
+		return q
+	}
+	// A duplicated predicate is rendered deterministically...
+	if CanonicalKey(base(true)) != CanonicalKey(base(true)) {
+		t.Fatal("duplicate predicates render nondeterministically")
+	}
+	// ...and keeps the duplicated structure distinct from the single one.
+	if CanonicalKey(base(true)) == CanonicalKey(base(false)) {
+		t.Fatal("duplicated predicate collapsed into the single-predicate key")
+	}
+}
+
+// TestCanonicalKeyNoCollisions: vary every structural dimension one at a
+// time and assert all resulting keys are pairwise distinct — distinct
+// structures must never share a cache entry (they would share an optimizer
+// over the wrong coordinate system).
+func TestCanonicalKeyNoCollisions(t *testing.T) {
+	col := func(rel, off int) relalg.ColID { return relalg.ColID{Rel: rel, Off: off} }
+	variants := map[string]*relalg.Query{
+		"base": {
+			Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 5}},
+			Joins: []relalg.JoinPred{{L: col(0, 0), R: col(1, 1)}},
+		},
+		"reordered-from": {
+			Rels:  []relalg.RelRef{{Alias: "o", Table: "orders"}, {Alias: "c", Table: "customer"}},
+			Scans: []relalg.ScanPred{{Col: col(1, 1), Op: relalg.CmpEQ, Val: 5}},
+			Joins: []relalg.JoinPred{{L: col(1, 0), R: col(0, 1)}},
+		},
+		"different-literal": {
+			Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 6}},
+			Joins: []relalg.JoinPred{{L: col(0, 0), R: col(1, 1)}},
+		},
+		"different-op": {
+			Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpLT, Val: 5}},
+			Joins: []relalg.JoinPred{{L: col(0, 0), R: col(1, 1)}},
+		},
+		"different-join-col": {
+			Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 5}},
+			Joins: []relalg.JoinPred{{L: col(0, 0), R: col(1, 2)}},
+		},
+		"with-filter": {
+			Rels:    []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans:   []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 5}},
+			Joins:   []relalg.JoinPred{{L: col(0, 0), R: col(1, 1)}},
+			Filters: []relalg.FilterPred{{L: col(0, 2), R: col(1, 3), Op: relalg.CmpLT, Sel: 0.5}},
+		},
+		"with-agg": {
+			Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+			Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 5}},
+			Joins: []relalg.JoinPred{{L: col(0, 0), R: col(1, 1)}},
+			Agg:   &relalg.AggSpec{GroupBy: []relalg.ColID{col(0, 0)}, CountAll: true},
+		},
+	}
+	keys := map[string]string{}
+	for name, q := range variants {
+		key := CanonicalKey(q)
+		if prev, ok := keys[key]; ok {
+			t.Errorf("structures %q and %q collide on key %s", name, prev, key)
+		}
+		keys[key] = name
+	}
+	// And the join-direction normalization still dedupes what SHOULD dedupe:
+	flipped := &relalg.Query{
+		Rels:  []relalg.RelRef{{Alias: "c", Table: "customer"}, {Alias: "o", Table: "orders"}},
+		Scans: []relalg.ScanPred{{Col: col(0, 1), Op: relalg.CmpEQ, Val: 5}},
+		Joins: []relalg.JoinPred{{L: col(1, 1), R: col(0, 0)}},
+	}
+	if CanonicalKey(flipped) != CanonicalKey(variants["base"]) {
+		t.Error("flipped join direction failed to canonicalize")
+	}
+}

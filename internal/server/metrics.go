@@ -23,6 +23,7 @@ type EntryMetrics struct {
 	RepairTime  time.Duration // time spent repairing
 	Converged   int64         // executions whose feedback was sub-threshold
 	Touched     int64         // cumulative optimizer entries touched
+	WarmSeeds   int           // factors seeded from the shared store at init
 
 	PlanVersion   uint64 // current plan generation (1 = initial plan)
 	PlanSignature string // canonical structure of the current plan
@@ -35,15 +36,23 @@ type Metrics struct {
 	Sessions int64 // sessions opened
 	Entries  int   // live cache entries
 
-	Hits   int64 // prepares served from cache
-	Misses int64 // prepares that created (and optimized) an entry
-	Execs  int64
+	Hits      int64 // prepares served from cache
+	Misses    int64 // prepares that created (and optimized) an entry
+	Evictions int64 // entries dropped by the LRU bound or TTL expiry
+	Execs     int64
 
 	FullOpts    int64
 	FullOptTime time.Duration
 	Repairs     int64
 	RepairTime  time.Duration
 	Converged   int64
+
+	// StatsKeys is the number of canonical subexpression fingerprints the
+	// server-wide statistics plane has learned about; WarmSeeds counts the
+	// factors it seeded into fresh entries before their first optimization.
+	// Statistics outlive evicted entries, so StatsKeys only grows.
+	StatsKeys int
+	WarmSeeds int64
 
 	PerEntry []EntryMetrics // in entry creation order
 }
@@ -58,10 +67,22 @@ func (s *Server) Metrics() Metrics {
 	s.mu.RUnlock()
 
 	m := Metrics{
-		Sessions: s.sessions.Load(),
-		Entries:  len(entries),
-		Hits:     s.hits.Load(),
-		Misses:   s.misses.Load(),
+		Sessions:  s.sessions.Load(),
+		Entries:   len(entries),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		StatsKeys: s.stats.Len(),
+		WarmSeeds: s.warmSeeds.Load(),
+
+		// Start from the retired totals so evicted entries' history stays
+		// in the aggregate counters (their per-entry lines are gone).
+		Execs:       s.retired.execs.Load(),
+		FullOpts:    s.retired.fullOpts.Load(),
+		FullOptTime: time.Duration(s.retired.fullOptTime.Load()),
+		Repairs:     s.retired.repairs.Load(),
+		RepairTime:  time.Duration(s.retired.repairTime.Load()),
+		Converged:   s.retired.converged.Load(),
 	}
 	for _, e := range entries {
 		em := e.snapshot()
@@ -95,6 +116,7 @@ func (e *planEntry) snapshot() EntryMetrics {
 	em.RepairTime = e.repairTime
 	em.Converged = e.converged
 	em.Touched = e.touched
+	em.WarmSeeds = e.warmSeeds
 	e.mu.Unlock()
 	return em
 }
@@ -102,17 +124,18 @@ func (e *planEntry) snapshot() EntryMetrics {
 // String renders the snapshot as a compact report, one line per entry.
 func (m Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sessions=%d entries=%d hits=%d misses=%d execs=%d\n",
-		m.Sessions, m.Entries, m.Hits, m.Misses, m.Execs)
+	fmt.Fprintf(&b, "sessions=%d entries=%d hits=%d misses=%d evictions=%d execs=%d\n",
+		m.Sessions, m.Entries, m.Hits, m.Misses, m.Evictions, m.Execs)
 	fmt.Fprintf(&b, "full-opts=%d (%v) repairs=%d (%v) converged-execs=%d\n",
 		m.FullOpts, m.FullOptTime.Round(time.Microsecond),
 		m.Repairs, m.RepairTime.Round(time.Microsecond), m.Converged)
+	fmt.Fprintf(&b, "stats-plane: keys=%d warm-seeds=%d\n", m.StatsKeys, m.WarmSeeds)
 	for _, e := range m.PerEntry {
-		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d plan=v%d\n",
+		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d warm=%d plan=v%d\n",
 			e.Hash, e.Query, e.Hits, e.Execs,
 			e.FullOpts, e.FullOptTime.Round(time.Microsecond),
 			e.Repairs, e.RepairTime.Round(time.Microsecond),
-			e.Converged, e.Touched, e.PlanVersion)
+			e.Converged, e.Touched, e.WarmSeeds, e.PlanVersion)
 	}
 	return b.String()
 }

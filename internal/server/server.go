@@ -9,6 +9,18 @@
 // every other session's plan: the cache entry is the materialized view, the
 // feedback stream is its delta log.
 //
+// Above the per-entry state sits the server-wide statistics plane
+// (internal/fbstore): every entry's calibrator reads and writes observation
+// state keyed by canonical subexpression fingerprint (relalg.Fingerprinter)
+// rather than by the entry's positional RelSets, so two structurally
+// different queries over the same tables share one learned history. That
+// sharing is what makes the cache safely boundable: eviction (LRU order,
+// optional TTL, Options.MaxEntries) discards only the plan and its live
+// optimizer — the learned statistics survive in the store and warm-start
+// the entry on re-admission, and every cache miss over hot tables seeds its
+// fresh cost model from the store before the first optimization, starting
+// near-converged instead of repeating the workload's whole learning curve.
+//
 // Concurrency model (audited against the contracts of the underlying
 // packages):
 //
@@ -20,8 +32,14 @@
 //     {plan, version} pair is published behind one atomic pointer, so
 //     executions never block on a repair in progress (they run the
 //     previous plan and their feedback arrives a moment later);
+//   - the fbstore.StatsStore is concurrency-safe on its own (short per-key
+//     critical sections; folds are commutative), so entries never serialize
+//     against each other on the shared statistics plane;
 //   - the cache map itself is under a server-wide RWMutex, held only for
-//     lookup/insert (never during optimization or execution);
+//     lookup/insert/evict (never during optimization or execution); an
+//     evicted entry keeps serving statements that already hold it — it
+//     merely becomes invisible to new prepares, and its feedback still
+//     lands in the shared store;
 //   - admission control bounds concurrent executions with a semaphore sized
 //     against the executor's Parallelism, so concurrent queries don't
 //     oversubscribe the morsel workers.
@@ -39,13 +57,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/fbstore"
 	"repro/internal/relalg"
 	"repro/internal/sqlmini"
 )
 
 // Options configures a Server. The zero value is serviceable: default cost
 // parameters, full plan space, full pruning, serial execution, admission
-// sized to the machine.
+// sized to the machine, unbounded plan cache, private statistics store.
 type Options struct {
 	// Params overrides the cost-model constants (nil: defaults).
 	Params *cost.Params
@@ -63,6 +82,15 @@ type Options struct {
 	// oversubscribe it.
 	MaxConcurrent int
 
+	// MaxEntries bounds the plan cache: inserting a cache miss beyond the
+	// bound evicts the least-recently-used entry first. 0 is unbounded.
+	// Eviction discards only the plan and its live optimizer — the learned
+	// statistics survive in the shared store and warm-start re-admission.
+	MaxEntries int
+	// TTL expires cache entries idle longer than this (checked lazily at
+	// prepare time, no background sweeper). 0 never expires.
+	TTL time.Duration
+
 	// NonCumulative switches feedback calibration from cumulatively
 	// averaged observations (the default, the paper's AQP-Cumulative) to
 	// last-execution-only.
@@ -72,6 +100,11 @@ type Options struct {
 	// what drives repairs to zero once a cached entry's statistics
 	// converge.
 	FeedbackThreshold float64
+
+	// Stats supplies the server-wide statistics plane; nil creates a
+	// private one. Sharing one store between servers (or across server
+	// restarts within a process) carries the learned cardinalities over.
+	Stats *fbstore.StatsStore
 
 	// Dict resolves string literals in SQL text to dictionary codes and
 	// Date encodes date literals; see internal/sqlmini.
@@ -88,18 +121,29 @@ type Options struct {
 // sessions with Session, and serve wire clients with ServeConn /
 // ServeListener. All methods are safe for concurrent use.
 type Server struct {
-	cat  *catalog.Catalog
-	opts Options
+	cat   *catalog.Catalog
+	opts  Options
+	stats *fbstore.StatsStore
 
-	sem chan struct{} // admission slots
+	sem     chan struct{} // admission slots
+	closed  atomic.Bool   // set by Shutdown: no new executions admitted
+	drainMu sync.Mutex    // serializes Shutdown drains
 
 	mu      sync.RWMutex
 	entries map[string]*planEntry
 	order   []string // insertion order, for stable metrics listings
+	// retired accumulates evicted entries' counters so server-wide
+	// Metrics totals survive cache churn instead of silently forgetting
+	// evicted history. Atomics, folded in by retire OUTSIDE the cache
+	// lock: snapshotting a victim takes its entry mutex, which may be
+	// held across a whole optimization.
+	retired retiredCounters
 
-	sessions atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
+	sessions  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	warmSeeds atomic.Int64 // factors seeded from the store across all inits
 }
 
 // New builds a server over the catalog. The catalog must not be mutated
@@ -121,9 +165,17 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 	if opts.FeedbackThreshold == 0 {
 		opts.FeedbackThreshold = 0.2
 	}
+	if opts.MaxEntries < 0 {
+		return nil, fmt.Errorf("server: negative MaxEntries %d", opts.MaxEntries)
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = fbstore.New()
+	}
 	return &Server{
 		cat:     cat,
 		opts:    opts,
+		stats:   stats,
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		entries: map[string]*planEntry{},
 	}, nil
@@ -132,11 +184,34 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 // Catalog returns the catalog the server executes over.
 func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
+// Stats returns the server-wide statistics plane.
+func (s *Server) Stats() *fbstore.StatsStore { return s.stats }
+
 // Session opens a new session. Sessions are cheap handles: all heavy state
 // (plans, optimizers, statistics) lives in the shared cache so that every
 // session benefits from every other session's executions.
 func (s *Server) Session() *Session {
 	return &Session{srv: s, ID: s.sessions.Add(1)}
+}
+
+// Shutdown drains the server for a graceful stop: no new executions are
+// admitted (Exec returns an error), and Shutdown blocks until every
+// in-flight execution has released its admission slot. Callers stop their
+// listeners first, then Shutdown, then read the final Metrics. Safe to call
+// more than once; every call waits for the drain.
+func (s *Server) Shutdown() {
+	s.closed.Store(true)
+	// Serialize drains: two callers acquiring admission slots concurrently
+	// could split the pool between them and deadlock.
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	// Acquiring every admission slot waits out all in-flight executions.
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	for i := 0; i < cap(s.sem); i++ {
+		<-s.sem
+	}
 }
 
 // Session is one client's handle on the server. Safe for concurrent use,
@@ -190,25 +265,36 @@ func (sess *Session) PrepareQuery(q *relalg.Query) (*Stmt, error) {
 
 // entry resolves (or creates) the cache entry for q and ensures it is
 // initialized — the only point where a from-scratch optimization ever
-// happens.
+// happens, and the only point where entries are evicted (lazy TTL expiry
+// plus the LRU bound on insert).
 func (s *Server) entry(q *relalg.Query) (*planEntry, bool, error) {
 	key := CanonicalKey(q)
+	now := time.Now()
 
 	s.mu.RLock()
 	e := s.entries[key]
 	s.mu.RUnlock()
+	if e != nil && s.expired(e, now) {
+		e = nil
+	}
 	hit := e != nil
 	if e == nil {
+		var victims []*planEntry
 		s.mu.Lock()
-		if e = s.entries[key]; e == nil {
+		if cur := s.entries[key]; cur != nil && !s.expired(cur, now) {
+			e, hit = cur, true // lost the race to another prepare
+		} else {
+			// An expired cur is removed by evictLocked's TTL sweep.
+			victims = s.evictLocked(now)
 			e = &planEntry{key: key, q: q, name: q.Name}
+			e.lastUsed.Store(now.UnixNano())
 			s.entries[key] = e
 			s.order = append(s.order, key)
-		} else {
-			hit = true
 		}
 		s.mu.Unlock()
+		s.retire(victims)
 	}
+	e.lastUsed.Store(now.UnixNano())
 	if hit {
 		s.hits.Add(1)
 		e.hits.Add(1)
@@ -219,6 +305,94 @@ func (s *Server) entry(q *relalg.Query) (*planEntry, bool, error) {
 		return nil, hit, err
 	}
 	return e, hit, nil
+}
+
+// expired reports whether e has been idle beyond the TTL.
+func (s *Server) expired(e *planEntry, now time.Time) bool {
+	return s.opts.TTL > 0 && now.Sub(time.Unix(0, e.lastUsed.Load())) > s.opts.TTL
+}
+
+// evictLocked enforces the eviction policy under the cache write lock:
+// first lazily expire idle entries (TTL), then evict least-recently-used
+// entries until an insert stays within MaxEntries. It returns the victims;
+// the caller folds their counters in with retire after releasing the lock.
+// Eviction is safe by construction — the entry's learned statistics already
+// live in the shared store, so re-admission warm-starts instead of
+// relearning — and cheap to keep simple: O(entries) scans, fine at the
+// cache sizes a bound implies.
+func (s *Server) evictLocked(now time.Time) []*planEntry {
+	var victims []*planEntry
+	if s.opts.TTL > 0 {
+		for key, e := range s.entries {
+			if s.expired(e, now) {
+				victims = append(victims, s.removeLocked(key))
+				s.evictions.Add(1)
+			}
+		}
+	}
+	if s.opts.MaxEntries <= 0 {
+		return victims
+	}
+	for len(s.entries) >= s.opts.MaxEntries {
+		var lruKey string
+		var lruAt int64
+		for key, e := range s.entries {
+			if at := e.lastUsed.Load(); lruKey == "" || at < lruAt {
+				lruKey, lruAt = key, at
+			}
+		}
+		victims = append(victims, s.removeLocked(lruKey))
+		s.evictions.Add(1)
+	}
+	return victims
+}
+
+// retiredCounters is the aggregate history of evicted entries, folded into
+// the server-wide Metrics totals so eviction never erases what happened.
+// Durations are stored as nanoseconds.
+type retiredCounters struct {
+	execs       atomic.Int64
+	fullOpts    atomic.Int64
+	fullOptTime atomic.Int64
+	repairs     atomic.Int64
+	repairTime  atomic.Int64
+	converged   atomic.Int64
+}
+
+// removeLocked drops one entry from the map and the order listing and
+// returns it. Sessions still holding the entry keep executing against it;
+// it is simply no longer discoverable, and its feedback keeps flowing into
+// the shared store.
+func (s *Server) removeLocked(key string) *planEntry {
+	e := s.entries[key]
+	delete(s.entries, key)
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return e
+}
+
+// retire folds evicted entries' counters into the retired totals. Called
+// with the cache lock RELEASED: snapshot takes each victim's entry mutex,
+// which may be held across a whole optimization, and waiting for that must
+// stall only this prepare, never the server. A Metrics call racing the gap
+// between removal and retire transiently undercounts the victim — the
+// snapshot is documented as consistent-enough, and the gap closes
+// immediately. (Executions an orphaned victim runs after its snapshot are
+// not re-counted.)
+func (s *Server) retire(victims []*planEntry) {
+	for _, e := range victims {
+		em := e.snapshot()
+		s.retired.execs.Add(em.Execs)
+		s.retired.fullOpts.Add(em.FullOpts)
+		s.retired.fullOptTime.Add(int64(em.FullOptTime))
+		s.retired.repairs.Add(em.Repairs)
+		s.retired.repairTime.Add(int64(em.RepairTime))
+		s.retired.converged.Add(em.Converged)
+	}
 }
 
 // planEntry is one cache slot: the live incremental optimizer for one
@@ -232,9 +406,10 @@ type planEntry struct {
 	// cur is the published {plan, version} pair, swapped as one pointer on
 	// every repair so executions always report the generation they
 	// actually ran.
-	cur   atomic.Pointer[planVersion]
-	hits  atomic.Int64
-	execs atomic.Int64
+	cur      atomic.Pointer[planVersion]
+	hits     atomic.Int64
+	execs    atomic.Int64
+	lastUsed atomic.Int64 // unix nanos of the last prepare/exec (LRU + TTL)
 
 	mu      sync.Mutex // guards everything below
 	model   *cost.Model
@@ -248,6 +423,7 @@ type planEntry struct {
 	repairTime  time.Duration
 	converged   int64 // executions whose feedback was within threshold
 	touched     int64 // cumulative optimizer entries touched by repairs
+	warmSeeds   int   // factors seeded from the shared store at init
 }
 
 // planVersion is one published plan generation. The tree is immutable;
@@ -257,9 +433,40 @@ type planVersion struct {
 	version uint64
 }
 
+// warmStartBound caps the subexpression enumeration at warm start: beyond
+// this many relations the connected-subset lattice is too large to probe
+// the store exhaustively, so oversized queries simply start cold. Every
+// workload query here is far below it (the paper's largest is an 8-way
+// join).
+const warmStartBound = 12
+
+// warmSets enumerates the candidate expressions to warm-start from the
+// store: every connected subexpression of q (the same no-Cartesian-product
+// space the enumerator explores).
+func warmSets(q *relalg.Query) []relalg.RelSet {
+	if len(q.Rels) > warmStartBound {
+		return nil
+	}
+	all := q.AllRels()
+	sets := make([]relalg.RelSet, 0, 1<<uint(len(q.Rels))-1)
+	all.ProperSubsets(func(sub relalg.RelSet) {
+		if q.Connected(sub) {
+			sets = append(sets, sub)
+		}
+	})
+	sets = append(sets, all)
+	return sets
+}
+
 // ensureInit builds the entry's model and optimizer and runs the single
-// from-scratch optimization, exactly once. Errors are sticky: a query whose
-// model cannot be built fails the same way on every prepare.
+// from-scratch optimization, exactly once. Before that optimization the
+// model is warm-started: every connected subexpression whose fingerprint
+// the shared store already knows gets its learned factor seeded, so a
+// structurally new query over hot tables optimizes against the workload's
+// converged statistics from the very first plan — and an entry re-admitted
+// after eviction picks up exactly where its evicted predecessor left off.
+// Errors are sticky: a query whose model cannot be built fails the same way
+// on every prepare.
 func (e *planEntry) ensureInit(s *Server) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -283,6 +490,11 @@ func (e *planEntry) ensureInit(s *Server) error {
 		e.initErr = err
 		return err
 	}
+	fp := relalg.NewFingerprinter(e.q)
+	cal := aqp.NewSharedCalibrator(s.stats, fp.Fingerprint,
+		!s.opts.NonCumulative, s.opts.FeedbackThreshold)
+	e.warmSeeds = cal.WarmStart(m, warmSets(e.q))
+	s.warmSeeds.Add(int64(e.warmSeeds))
 	opt, err := core.New(m, space, mode)
 	if err != nil {
 		e.initErr = err
@@ -295,7 +507,7 @@ func (e *planEntry) ensureInit(s *Server) error {
 	}
 	e.model = m
 	e.opt = opt
-	e.cal = aqp.NewCalibrator(!s.opts.NonCumulative, s.opts.FeedbackThreshold)
+	e.cal = cal
 	e.fullOpts++
 	e.fullOptTime += opt.Metrics().Elapsed
 	e.cur.Store(&planVersion{plan: plan, version: 1})
@@ -377,8 +589,12 @@ func (st *Stmt) Exec() (*Result, error) {
 	srv := st.sess.srv
 	srv.sem <- struct{}{}
 	defer func() { <-srv.sem }()
+	if srv.closed.Load() {
+		return nil, fmt.Errorf("server: shutting down")
+	}
 
 	e := st.entry
+	e.lastUsed.Store(time.Now().UnixNano())
 	snap := e.cur.Load()
 
 	start := time.Now()

@@ -18,6 +18,10 @@
 //     option, exact per-operator cardinality feedback, and a row-at-a-time
 //     compatibility shim;
 //   - internal/aqp — the adaptive query processing loop;
+//   - internal/fbstore — the server-wide statistics plane: calibrated
+//     cardinality observations keyed by canonical subexpression
+//     fingerprint, shared by every plan-cache entry and surviving their
+//     eviction;
 //   - internal/server — the concurrent query service: sessions over a
 //     shared plan cache whose entries each hold a live incremental
 //     optimizer, so every execution's feedback incrementally repairs the
@@ -52,12 +56,25 @@
 //	sess := srv.Session()
 //	st, _ := sess.Prepare("SELECT ... FROM ... WHERE ...")
 //	res, _ := st.Exec() // feeds observed cardinalities back to the cache
+//
+// Learned cardinalities live in a server-wide statistics plane keyed by
+// canonical subexpression fingerprint, not in the cache entries: two
+// structurally different statements over the same tables calibrate against
+// one shared history, and a structurally new statement over hot tables
+// warm-starts its first optimization from what the workload already
+// learned. That makes the cache safely boundable — ServerOptions.MaxEntries
+// caps it with LRU eviction and ServerOptions.TTL expires idle entries;
+// eviction discards only the plan and its live optimizer, never the
+// statistics, so re-admission starts near-converged. ServerOptions.Stats
+// optionally shares one NewStatsStore between servers. Server.Shutdown
+// drains in-flight executions for a graceful stop.
 package repro
 
 import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/fbstore"
 	"repro/internal/relalg"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
@@ -182,6 +199,15 @@ type ExecResult = server.Result
 
 // ServerMetrics is a snapshot of a Server's cache and repair counters.
 type ServerMetrics = server.Metrics
+
+// StatsStore is the server-wide statistics plane: calibrated cardinality
+// observation state keyed by canonical subexpression fingerprint. Servers
+// create a private one by default; pass one through ServerOptions.Stats to
+// share learned statistics between servers or across server rebuilds.
+type StatsStore = fbstore.StatsStore
+
+// NewStatsStore builds an empty statistics plane.
+func NewStatsStore() *StatsStore { return fbstore.New() }
 
 // NewServer builds a concurrent query service over the catalog. The catalog
 // must not be mutated afterwards.
