@@ -16,6 +16,24 @@
 // in-flight executions through the admission semaphore, and writes the final
 // metrics report to stderr.
 //
+// The statistics plane itself survives restarts and forgets gracefully:
+//
+//   - -stats-file PATH loads a statistics snapshot on boot (a missing file
+//     is a cold start) and saves one on graceful shutdown, rotating it into
+//     place atomically (write-to-temp + rename) so a crash mid-save never
+//     corrupts the previous snapshot. Restarting with the same -stats-file
+//     re-prepares the workload warm: one full optimization per entry, zero
+//     relearning.
+//   - -stats-half-life N exponentially decays the observation history with
+//     a half-life of N logical observations, so after data drift the
+//     calibrated factors track the new regime in O(N) observations instead
+//     of O(history).
+//   - -stats-stale-after N stops warm-starting from fingerprints unseen for
+//     N observations and reclaims them entirely at age 2N.
+//
+// The final metrics flush includes the stats-plane ageing counters (clock,
+// decays, stale, reclaimed), so drift behavior is observable in production.
+//
 // Protocol (one command per line; see internal/server/proto.go):
 //
 //	query q5 Q5          bind the named TPC-H Q5 as statement "q5"
@@ -52,7 +70,26 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission bound on concurrently executing queries; 0 sizes it against parallelism")
 	maxEntries := flag.Int("max-entries", 0, "plan cache entry bound (LRU eviction); 0 is unbounded")
 	ttl := flag.Duration("ttl", 0, "plan cache idle expiry (e.g. 10m); 0 never expires")
+	statsFile := flag.String("stats-file", "", "statistics-plane snapshot path: loaded on boot when present, saved (atomic rotation) on graceful shutdown")
+	halfLife := flag.Float64("stats-half-life", 0, "observation-decay half-life of the statistics plane, in logical observations; 0 keeps full history")
+	staleAfter := flag.Uint64("stats-stale-after", 0, "observations after which an unseen fingerprint stops warm-starting (reclaimed at twice this age); 0 keeps everything")
 	flag.Parse()
+
+	stats := repro.NewStatsStoreWith(repro.StatsStoreOptions{
+		DecayHalfLife: *halfLife,
+		StaleAfter:    *staleAfter,
+	})
+	if *statsFile != "" {
+		switch err := stats.LoadFile(*statsFile); {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "reproserve: no snapshot at %s, statistics plane starts cold\n", *statsFile)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Fprintf(os.Stderr, "reproserve: loaded %d statistics fingerprints from %s (clock=%d)\n",
+				stats.Len(), *statsFile, stats.Clock())
+		}
+	}
 
 	cat := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42, Skew: *skew})
 	srv, err := repro.NewServer(cat, repro.ServerOptions{
@@ -60,6 +97,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		MaxEntries:    *maxEntries,
 		TTL:           *ttl,
+		Stats:         stats,
 		Dict:          tpch.Dict(),
 		Date:          tpch.Date,
 		Named:         tpch.Queries(),
@@ -82,7 +120,7 @@ func main() {
 		case s := <-sig:
 			fmt.Fprintf(os.Stderr, "reproserve: %v, draining in-flight executions\n", s)
 		}
-		shutdown(srv)
+		shutdown(srv, *statsFile)
 		return
 	}
 	l, err := net.Listen("tcp", *listen)
@@ -99,15 +137,26 @@ func main() {
 	if err := srv.ServeListener(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
-	shutdown(srv)
+	shutdown(srv, *statsFile)
 }
 
-// shutdown drains the admission semaphore and flushes the final metrics
-// report: the cache and statistics-plane counters a long-running serve
-// accumulated, written where an operator (or test harness) can collect them.
-func shutdown(srv *repro.Server) {
+// shutdown drains the admission semaphore, persists the statistics plane
+// (atomic rotation: the previous snapshot survives any failure), and flushes
+// the final metrics report: the cache and statistics-plane counters —
+// including the ageing clock, decay, staleness and reclaim totals — a
+// long-running serve accumulated, written where an operator (or test
+// harness) can collect them.
+func shutdown(srv *repro.Server, statsFile string) {
 	start := time.Now()
 	srv.Shutdown()
+	if statsFile != "" {
+		if err := srv.Stats().SaveFile(statsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "reproserve: %v (previous snapshot left intact)\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "reproserve: saved %d statistics fingerprints to %s\n",
+				srv.Stats().Len(), statsFile)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "reproserve: drained in %v, final metrics:\n%s",
 		time.Since(start).Round(time.Millisecond), srv.Metrics())
 }

@@ -27,6 +27,14 @@ import (
 // cumulative history, and WarmStart seeds a fresh model with factors other
 // queries already converged to.
 //
+// The store's ageing policy (fbstore.Options) flows straight through the
+// calibrator: when the store decays its cumulative sums, the estimate Fold
+// returns is an exponentially weighted average, so under data drift the
+// factors Observe emits overturn a confidently-wrong correction in
+// O(half-life) observations instead of O(history) — and once a fingerprint
+// crosses the staleness horizon, Factor reports it unknown and WarmStart
+// stops seeding it, so dead statistics cannot poison a fresh model.
+//
 // Factors are CALIBRATED: overrides compose multiplicatively up the subset
 // lattice (an override on S scales every expression containing S), so the
 // factor for S must be computed against the estimate that already includes

@@ -89,3 +89,60 @@ func TestWarmStartSeedsAndSuppresses(t *testing.T) {
 		t.Fatalf("model not seeded: CardFactor = %v, want 4", f)
 	}
 }
+
+// driftModel builds a cost model over materialized Linear Road windows, so
+// base cardinalities are non-degenerate.
+func driftModel(t *testing.T) *cost.Model {
+	t.Helper()
+	gen := linearroad.NewGen(7, 50)
+	win := linearroad.NewWindows()
+	win.Ingest(gen.Slice(0, 5))
+	win.Materialize()
+	m, err := cost.NewModel(linearroad.SegTollS(), win.Catalog(), cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCalibratorDecayOverturn: the ageing half of the drift story, measured
+// at the calibrator. Both calibrators learn a confidently-wrong 50x factor
+// from a long stationary history; after the regime shifts back, the one over
+// a decaying store overturns the factor within a few half-lives, while the
+// full-history calibrator is still anchored to the dead regime after the
+// same number of observations (its average needs O(history) to move).
+func TestCalibratorDecayOverturn(t *testing.T) {
+	const history, budget = 30, 30
+	set := relalg.Single(0)
+
+	overturnAfter := func(store *fbstore.StatsStore) int {
+		m := driftModel(t)
+		cal := NewSharedCalibrator(store, nil, true, 0.2)
+		base := m.Card(set) / m.CardFactor(set)
+		obsOld := map[relalg.RelSet]int64{set: int64(50 * base)}
+		obsNew := map[relalg.RelSet]int64{set: int64(base)}
+		for i := 0; i < history; i++ {
+			cal.Observe(obsOld, m)
+		}
+		if f := m.CardFactor(set); f < 25 {
+			t.Fatalf("history did not install the wrong factor (got %v)", f)
+		}
+		for i := 1; i <= budget; i++ {
+			cal.Observe(obsNew, m)
+			if m.CardFactor(set) < 2 {
+				return i
+			}
+		}
+		return budget + 1 // never overturned within budget
+	}
+
+	decayed := overturnAfter(fbstore.NewWithOptions(fbstore.Options{DecayHalfLife: 3}))
+	frozen := overturnAfter(fbstore.New())
+	if decayed > budget {
+		t.Fatalf("decaying calibrator never overturned the stale factor within %d observations", budget)
+	}
+	if frozen <= budget {
+		t.Fatalf("full-history control overturned after %d observations — drift control is broken", frozen)
+	}
+	t.Logf("overturn: decayed after %d observations, frozen control still wrong after %d", decayed, budget)
+}

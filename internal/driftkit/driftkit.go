@@ -1,0 +1,259 @@
+// Package driftkit is the scenario harness for the statistics plane under
+// data drift: it replays a phase-shifted stream workload against a live
+// query service (internal/server) and reports the repair/convergence
+// trajectory phase by phase, so tests can assert not just "the server
+// adapts" but the shape of the adaptation — fresh repairs right after a
+// distribution shift, then re-convergence to zero repairs once the learned
+// statistics catch up with the new regime.
+//
+// The stream is the Linear Road generator of internal/linearroad (bursty
+// car position reports with drifting hot segments); a Phase sharpens its
+// drift into a step change by transforming every generated report with a
+// Mutate hook, so the boundary between phases is a genuine regime shift in
+// the observed cardinalities rather than a slow wander. Between executions
+// the harness ingests one stream slice into the query's window tables and
+// re-materializes them — the same split-point discipline as the §5.4
+// adaptive loop, but driven through the serving layer: the server's cached
+// entry holds the live incremental optimizer, and every execution's
+// feedback lands in the server-wide fbstore.StatsStore, whose ageing policy
+// is exactly what drift scenarios exercise.
+//
+// The harness is deliberately deterministic: the generator is seeded, the
+// replay is single-session and serial, and the statistics plane's ageing
+// runs on its logical observation clock, so two runs of the same Scenario
+// against servers that differ only in ageing policy see byte-identical
+// streams — the control-versus-treatment comparison every adaptivity claim
+// needs.
+package driftkit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/linearroad"
+	"repro/internal/relalg"
+	"repro/internal/server"
+)
+
+// Phase is one stationary regime of the replayed stream.
+type Phase struct {
+	// Name labels the phase in reports.
+	Name string
+	// Execs is how many split points (ingest + materialize + execute
+	// rounds) the phase runs.
+	Execs int
+	// Seconds is how many stream-seconds are ingested before each
+	// execution.
+	Seconds int64
+	// Mutate transforms each generated report in place (nil: identity).
+	// It is what turns the generator's gradual drift into this phase's
+	// regime: e.g. forcing the direction field remaps the selectivity of
+	// every dir-predicate for the whole phase.
+	Mutate func(row []int64)
+}
+
+// Scenario is a reproducible phase-shifted workload.
+type Scenario struct {
+	// Seed and Cars parameterize the Linear Road generator.
+	Seed uint64
+	Cars int
+	// Query is the statement replayed at every split point (nil: the
+	// paper's SegTollS five-way window join).
+	Query *relalg.Query
+	// QuietWindow is how many trailing executions of a phase must be
+	// repair-free for the phase to count as re-converged.
+	QuietWindow int
+	// Phases run in order over one continuous stream clock.
+	Phases []Phase
+}
+
+// Point is one execution of the replay.
+type Point struct {
+	Phase       string
+	Exec        int // 1-based index within the phase
+	Repaired    bool
+	PlanVersion uint64
+	Rows        int
+}
+
+// PhaseReport summarizes one phase's adaptation trajectory.
+type PhaseReport struct {
+	Name    string
+	Execs   int
+	Repairs int // executions whose feedback repaired the cached plan
+	// FirstRepair and LastRepair are 1-based execution indices within the
+	// phase (0: the phase never repaired).
+	FirstRepair int
+	LastRepair  int
+	// Reconverged reports whether the trailing QuietWindow executions were
+	// repair-free: the plan settled before the phase ended.
+	Reconverged bool
+	// EstimationError is the mean |ln(estimate/lastObservation)| over the
+	// statistics-plane fingerprints observed during this phase, measured at
+	// phase end — how far the plane's calibrated estimates sit from what
+	// the data currently shows. A plane that keeps up with drift ends each
+	// phase with a small error; a frozen one drags the dead regime along.
+	EstimationError float64
+}
+
+// Report is the whole replay's trajectory.
+type Report struct {
+	Points []Point
+	Phases []PhaseReport
+}
+
+// Phase returns the report of the named phase, or nil.
+func (r *Report) Phase(name string) *PhaseReport {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Harness owns the stream state of one Scenario replay: the seeded
+// generator, the window tables, and the stream clock. Build the server over
+// Catalog() and hand it to Run. Not safe for concurrent use; a harness
+// replays one scenario once.
+type Harness struct {
+	sc  Scenario
+	gen *linearroad.Gen
+	win *linearroad.Windows
+	t   int64 // stream clock, continuous across phases
+	ran bool
+}
+
+// New builds a harness for the scenario.
+func New(sc Scenario) *Harness {
+	if sc.Query == nil {
+		sc.Query = linearroad.SegTollS()
+	}
+	if sc.QuietWindow <= 0 {
+		sc.QuietWindow = 3
+	}
+	return &Harness{
+		sc:  sc,
+		gen: linearroad.NewGen(sc.Seed, sc.Cars),
+		win: linearroad.NewWindows(),
+	}
+}
+
+// Catalog returns the window-backed catalog the server must be built over.
+func (h *Harness) Catalog() *catalog.Catalog { return h.win.Catalog() }
+
+// Run replays the scenario against the server: for every execution of every
+// phase it ingests one stream slice (with the phase's Mutate applied),
+// re-materializes the window tables, and executes the scenario query
+// through a server session, so the server's feedback loop — calibration,
+// ageing, incremental repair — runs exactly as it would in production. The
+// statement is prepared once, after the first slice is materialized, so the
+// entry's initial cost model sees real (pre-drift) statistics.
+//
+// Run drives the server strictly serially and re-materializes the catalog
+// between executions; do not execute other statements against the same
+// server concurrently.
+func (h *Harness) Run(srv *server.Server) (*Report, error) {
+	if h.ran {
+		return nil, fmt.Errorf("driftkit: harness already ran; build a new one per replay")
+	}
+	h.ran = true
+	sess := srv.Session()
+	var st *server.Stmt
+	rep := &Report{}
+	for pi, ph := range h.sc.Phases {
+		if ph.Execs <= 0 || ph.Seconds <= 0 {
+			return nil, fmt.Errorf("driftkit: phase %d (%s) needs positive Execs and Seconds", pi, ph.Name)
+		}
+		phaseStartClock := srv.Stats().Clock()
+		var points []Point
+		for i := 1; i <= ph.Execs; i++ {
+			rows := h.gen.Slice(h.t, h.t+ph.Seconds)
+			h.t += ph.Seconds
+			if ph.Mutate != nil {
+				for _, r := range rows {
+					ph.Mutate(r)
+				}
+			}
+			h.win.Ingest(rows)
+			h.win.Materialize()
+			if st == nil {
+				var err error
+				st, err = sess.PrepareQuery(h.sc.Query)
+				if err != nil {
+					return nil, fmt.Errorf("driftkit: prepare: %w", err)
+				}
+			}
+			res, err := st.Exec()
+			if err != nil {
+				return nil, fmt.Errorf("driftkit: phase %s exec %d: %w", ph.Name, i, err)
+			}
+			p := Point{Phase: ph.Name, Exec: i, Repaired: res.Repaired,
+				PlanVersion: res.PlanVersion, Rows: len(res.Rows)}
+			points = append(points, p)
+			rep.Points = append(rep.Points, p)
+		}
+		rep.Phases = append(rep.Phases, h.phaseReport(srv, ph, points, phaseStartClock))
+	}
+	return rep, nil
+}
+
+// phaseReport folds one phase's points and the statistics plane's end-state
+// into a PhaseReport.
+func (h *Harness) phaseReport(srv *server.Server, ph Phase, points []Point, startClock uint64) PhaseReport {
+	pr := PhaseReport{Name: ph.Name, Execs: len(points)}
+	for _, p := range points {
+		if !p.Repaired {
+			continue
+		}
+		pr.Repairs++
+		if pr.FirstRepair == 0 {
+			pr.FirstRepair = p.Exec
+		}
+		pr.LastRepair = p.Exec
+	}
+	quiet := h.sc.QuietWindow
+	if quiet > len(points) {
+		quiet = len(points)
+	}
+	pr.Reconverged = pr.LastRepair <= len(points)-quiet
+
+	// Estimation error over the fingerprints this phase actually observed
+	// (their last fold is stamped after the phase's starting clock).
+	var sum float64
+	var n int
+	for _, sn := range srv.Stats().Snapshot() {
+		if sn.Tick <= startClock || sn.ObsAvg <= 0 || sn.LastObs <= 0 {
+			continue
+		}
+		sum += math.Abs(math.Log(sn.ObsAvg / sn.LastObs))
+		n++
+	}
+	if n > 0 {
+		pr.EstimationError = sum / float64(n)
+	}
+	return pr
+}
+
+// String renders the trajectory compactly: one line per phase, a repair map
+// per execution ('R' repaired, '.' converged).
+func (r *Report) String() string {
+	out := ""
+	for _, ph := range r.Phases {
+		trace := make([]byte, 0, ph.Execs)
+		for _, p := range r.Points {
+			if p.Phase != ph.Name {
+				continue
+			}
+			c := byte('.')
+			if p.Repaired {
+				c = 'R'
+			}
+			trace = append(trace, c)
+		}
+		out += fmt.Sprintf("%-10s %s repairs=%d reconverged=%v estErr=%.3f\n",
+			ph.Name, trace, ph.Repairs, ph.Reconverged, ph.EstimationError)
+	}
+	return out
+}

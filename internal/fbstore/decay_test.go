@@ -1,0 +1,210 @@
+package fbstore
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// advance folds n observations into a disjoint key, moving the store-wide
+// logical clock without touching the keys under test.
+func advance(s *StatsStore, n int) {
+	for i := 0; i < n; i++ {
+		s.Fold("clock-filler", 1, true)
+	}
+}
+
+// TestDecayHalfLifeWeighting: with decay on, the cumulative average is an
+// exponentially weighted one — immediately-consecutive folds age by one tick
+// each, so the numbers are exactly computable.
+func TestDecayHalfLifeWeighting(t *testing.T) {
+	s := NewWithOptions(Options{DecayHalfLife: 1})
+	if est := s.Fold("k", 10, true); est != 10 {
+		t.Fatalf("first fold = %v, want 10", est)
+	}
+	// Second fold is one tick later: the first observation's weight halves.
+	// avg = (10*0.5 + 30) / (0.5 + 1) = 35 / 1.5.
+	want := 35.0 / 1.5
+	if est := s.Fold("k", 30, true); math.Abs(est-want) > 1e-12 {
+		t.Fatalf("decayed average = %v, want %v", est, want)
+	}
+	if s.Decays() != 1 {
+		t.Fatalf("Decays = %d, want 1", s.Decays())
+	}
+	// Non-cumulative folds still return the raw observation.
+	if est := s.Fold("k", 100, false); est != 100 {
+		t.Fatalf("non-cumulative fold = %v, want 100", est)
+	}
+}
+
+// TestDecayOverturnsStaleEstimate is the drift property the half-life
+// exists for: after a regime shift in the observations, the decayed
+// estimate reaches the new regime in O(halfLife) folds while the
+// full-history average is still dominated by the old regime.
+func TestDecayOverturnsStaleEstimate(t *testing.T) {
+	const oldObs, newObs = 1000.0, 100.0
+	const history, post = 50, 24 // 24 post-shift folds = 8 half-lives
+
+	decayed := NewWithOptions(Options{DecayHalfLife: 3})
+	frozen := New()
+	var dEst, fEst float64
+	for i := 0; i < history; i++ {
+		dEst = decayed.Fold("k", oldObs, true)
+		fEst = frozen.Fold("k", oldObs, true)
+	}
+	for i := 0; i < post; i++ {
+		dEst = decayed.Fold("k", newObs, true)
+		fEst = frozen.Fold("k", newObs, true)
+	}
+	if relErr := math.Abs(dEst-newObs) / newObs; relErr > 0.25 {
+		t.Fatalf("decayed estimate %v still %.0f%% from the new regime %v", dEst, 100*relErr, newObs)
+	}
+	if fEst < 5*newObs {
+		t.Fatalf("full-history estimate %v converged implausibly fast — the control is broken", fEst)
+	}
+}
+
+// TestAgeingTable drives the staleness/reclaim state machine through its
+// regimes: fresh factors warm-start, factors beyond the horizon do not,
+// entries beyond twice the horizon are reclaimed, and keys that stay hot
+// survive arbitrary clock advancement.
+func TestAgeingTable(t *testing.T) {
+	const stale = 5
+	cases := []struct {
+		name        string
+		opts        Options
+		idleTicks   int  // clock advancement after the key's last activity
+		keepHot     bool // re-fold the key each step instead of idling
+		wantWarm    bool // Factor reports a usable warm-start factor
+		wantKeyLive bool // entry still present after Sweep
+		wantStale   int  // StaleKeys after advancement, before Sweep
+	}{
+		{name: "ageing-off/long-idle", opts: Options{}, idleTicks: 100,
+			wantWarm: true, wantKeyLive: true, wantStale: 0},
+		{name: "fresh/inside-horizon", opts: Options{StaleAfter: stale}, idleTicks: stale,
+			wantWarm: true, wantKeyLive: true, wantStale: 0},
+		{name: "stale/outside-horizon", opts: Options{StaleAfter: stale}, idleTicks: stale + 1,
+			wantWarm: false, wantKeyLive: true, wantStale: 1},
+		{name: "dead/beyond-reclaim", opts: Options{StaleAfter: stale}, idleTicks: 2*stale + 1,
+			wantWarm: false, wantKeyLive: false, wantStale: 1},
+		{name: "decay+stale/dead", opts: Options{DecayHalfLife: 2, StaleAfter: stale}, idleTicks: 2*stale + 1,
+			wantWarm: false, wantKeyLive: false, wantStale: 1},
+		{name: "hot-key-survives", opts: Options{DecayHalfLife: 2, StaleAfter: stale}, idleTicks: 20 * stale,
+			keepHot: true, wantWarm: true, wantKeyLive: true, wantStale: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewWithOptions(tc.opts)
+			s.Fold("k", 42, true)
+			s.SetFactor("k", 2.0)
+			if tc.keepHot {
+				for i := 0; i < tc.idleTicks; i++ {
+					s.Fold("clock-filler", 1, true)
+					s.Fold("k", 42, true)
+				}
+			} else {
+				advance(s, tc.idleTicks)
+			}
+			if got := s.StaleKeys(); got != tc.wantStale {
+				t.Errorf("StaleKeys = %d, want %d", got, tc.wantStale)
+			}
+			if _, ok := s.Factor("k"); ok != tc.wantWarm {
+				t.Errorf("Factor warm = %v, want %v", ok, tc.wantWarm)
+			}
+			s.Sweep()
+			_, live := func() (float64, bool) {
+				for _, sn := range s.Snapshot() {
+					if sn.Key == "k" {
+						return sn.Factor, true
+					}
+				}
+				return 0, false
+			}()
+			if live != tc.wantKeyLive {
+				t.Errorf("entry live after Sweep = %v, want %v", live, tc.wantKeyLive)
+			}
+			if !tc.wantKeyLive && s.Reclaimed() == 0 {
+				t.Error("Reclaimed counter did not move for a reclaimed entry")
+			}
+		})
+	}
+}
+
+// TestAmortizedSweep: the sweep fires from Fold itself once the clock
+// advances a full horizon past the last sweep — no explicit Sweep call, no
+// background goroutine needed for a live server to forget dead keys.
+func TestAmortizedSweep(t *testing.T) {
+	s := NewWithOptions(Options{StaleAfter: 4})
+	s.Fold("dead", 1, true)
+	// 2*StaleAfter+1 ticks of disjoint traffic age "dead" beyond reclaim;
+	// the folds themselves must trigger the sweep along the way.
+	advance(s, 20)
+	for _, sn := range s.Snapshot() {
+		if sn.Key == "dead" {
+			t.Fatalf("dead key survived %d ticks of amortized sweeping", 20)
+		}
+	}
+	if s.Reclaimed() == 0 {
+		t.Fatal("amortized sweep reclaimed nothing")
+	}
+}
+
+// TestSweepFoldRace hammers folds of one key against concurrent sweeps that
+// keep reclaiming it: no fold may land in a tombstoned orphan, so every
+// observation must be accounted for — either in the live entry's history or
+// as part of a reclaimed generation — and the final entry state must be
+// consistent (a live entry always shows the latest fold). Run under -race
+// in CI.
+func TestSweepFoldRace(t *testing.T) {
+	s := NewWithOptions(Options{StaleAfter: 1}) // reclaim at age 2: maximal churn
+	const goroutines = 4
+	const folds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < folds; i++ {
+				s.Fold("contested", 7, true)
+				s.SetFactor("contested", 3)
+				s.Sweep()
+			}
+		}()
+	}
+	wg.Wait()
+	// The key was folded moments ago from whichever goroutine finished
+	// last; a write lost to a tombstoned orphan would leave the live entry
+	// missing its observation.
+	for _, sn := range s.Snapshot() {
+		if sn.Key == "contested" && sn.ObsN > 0 && sn.LastObs != 7 {
+			t.Fatalf("live entry lost its last fold: %+v", sn)
+		}
+	}
+	if s.Clock() != goroutines*folds {
+		t.Fatalf("clock = %d, want %d (every fold ticks exactly once)", s.Clock(), goroutines*folds)
+	}
+}
+
+// TestSnapshotAgeingFields: Snapshot exposes the logical tick and staleness
+// verdict the metrics plane reports.
+func TestSnapshotAgeingFields(t *testing.T) {
+	s := NewWithOptions(Options{StaleAfter: 2})
+	s.Fold("a", 5, true)
+	advance(s, 3)
+	var a, filler *StatSnapshot
+	for _, sn := range s.Snapshot() {
+		sn := sn
+		switch sn.Key {
+		case "a":
+			a = &sn
+		case "clock-filler":
+			filler = &sn
+		}
+	}
+	if a == nil || !a.Stale || a.Tick != 1 {
+		t.Fatalf("aged entry snapshot wrong: %+v", a)
+	}
+	if filler == nil || filler.Stale {
+		t.Fatalf("fresh entry snapshot wrong: %+v", filler)
+	}
+}

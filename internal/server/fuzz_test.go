@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/stats"
+)
+
+// This fuzz target guards the two canonicalization layers the serving stack
+// leans on: CanonicalKey (plan-cache identity) and relalg.Fingerprinter
+// (statistics-plane identity). The soundness contract is directional —
+// mutations that preserve query structure (alias renames, predicate
+// reordering, join-direction flips) must preserve both the cache key and
+// every connected subexpression's fingerprint, while mutations that change
+// structure (literals, operators, join columns, added predicates, filter
+// selectivities) must change the cache key and the full expression's
+// fingerprint. A violation of the first half splits one statement's learned
+// history across entries; a violation of the second half pools statistics
+// about different quantities — a silently wrong optimizer either way.
+
+// fuzzTables is the pool of distinct table names; relations draw distinct
+// tables so canonical member ordering never hits the self-join tie-break
+// (which is documented to be minting-order dependent).
+var fuzzTables = [6]string{"fa", "fb", "fc", "fd", "fe", "ff"}
+
+// randQuery derives a random connected 2..4-relation query from the RNG.
+func randQuery(r *stats.Rand) *relalg.Query {
+	n := 2 + int(r.Int64n(3))
+	perm := [6]int{0, 1, 2, 3, 4, 5}
+	for i := 5; i > 0; i-- { // Fisher-Yates over the table pool
+		j := int(r.Int64n(int64(i + 1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	q := &relalg.Query{Name: "fuzz"}
+	for i := 0; i < n; i++ {
+		q.Rels = append(q.Rels, relalg.RelRef{
+			Alias: fmt.Sprintf("r%d", i), Table: fuzzTables[perm[i]],
+		})
+	}
+	// A random spanning construction keeps the join graph connected.
+	for i := 1; i < n; i++ {
+		q.Joins = append(q.Joins, relalg.JoinPred{
+			L: relalg.ColID{Rel: int(r.Int64n(int64(i))), Off: int(r.Int64n(5))},
+			R: relalg.ColID{Rel: i, Off: int(r.Int64n(5))},
+		})
+	}
+	ops := [3]relalg.CmpOp{relalg.CmpEQ, relalg.CmpLT, relalg.CmpGT}
+	for k := int(r.Int64n(4)); k > 0; k-- {
+		q.Scans = append(q.Scans, relalg.ScanPred{
+			Col: relalg.ColID{Rel: int(r.Int64n(int64(n))), Off: int(r.Int64n(5))},
+			Op:  ops[r.Int64n(3)], Val: r.Int64n(100),
+		})
+	}
+	for k := int(r.Int64n(3)); k > 0; k-- {
+		a, b := int(r.Int64n(int64(n))), int(r.Int64n(int64(n)))
+		if a == b {
+			continue
+		}
+		q.Filters = append(q.Filters, relalg.FilterPred{
+			L:  relalg.ColID{Rel: a, Off: int(r.Int64n(5))},
+			R:  relalg.ColID{Rel: b, Off: int(r.Int64n(5))},
+			Op: relalg.CmpLT, Off: r.Int64n(10), Sel: 0.5,
+		})
+	}
+	return q
+}
+
+func copyQuery(q *relalg.Query) *relalg.Query {
+	return &relalg.Query{
+		Name:    q.Name,
+		Rels:    append([]relalg.RelRef(nil), q.Rels...),
+		Scans:   append([]relalg.ScanPred(nil), q.Scans...),
+		Joins:   append([]relalg.JoinPred(nil), q.Joins...),
+		Filters: append([]relalg.FilterPred(nil), q.Filters...),
+	}
+}
+
+// preserveMutate applies only structure-preserving spelling changes:
+// renamed aliases, shuffled predicate order, flipped join directions.
+func preserveMutate(q *relalg.Query, r *stats.Rand) *relalg.Query {
+	for i := range q.Rels {
+		q.Rels[i].Alias = fmt.Sprintf("zz%d", i)
+	}
+	shuffle := func(n int, swap func(i, j int)) {
+		for i := n - 1; i > 0; i-- {
+			swap(i, int(r.Int64n(int64(i+1))))
+		}
+	}
+	shuffle(len(q.Scans), func(i, j int) { q.Scans[i], q.Scans[j] = q.Scans[j], q.Scans[i] })
+	shuffle(len(q.Joins), func(i, j int) { q.Joins[i], q.Joins[j] = q.Joins[j], q.Joins[i] })
+	shuffle(len(q.Filters), func(i, j int) { q.Filters[i], q.Filters[j] = q.Filters[j], q.Filters[i] })
+	for i := range q.Joins {
+		if r.Int64n(2) == 0 {
+			q.Joins[i].L, q.Joins[i].R = q.Joins[i].R, q.Joins[i].L
+		}
+	}
+	return q
+}
+
+// structMutate applies one structure-CHANGING mutation, selected by sel and
+// falling through to an always-applicable one when the preferred target is
+// absent. It returns a description for failure messages.
+func structMutate(q *relalg.Query, r *stats.Rand, sel byte) (*relalg.Query, string) {
+	switch sel % 5 {
+	case 0:
+		if len(q.Scans) > 0 {
+			q.Scans[0].Val += 1000003
+			return q, "scan literal changed"
+		}
+	case 1:
+		if len(q.Scans) > 0 {
+			q.Scans[0].Op = relalg.CmpNE
+			return q, "scan operator changed"
+		}
+	case 2:
+		q.Joins[0].R.Off += 101
+		return q, "join column changed"
+	case 3:
+		if len(q.Filters) > 0 {
+			q.Filters[0].Sel = 0.37
+			return q, "filter selectivity changed"
+		}
+	case 4:
+		q.Joins = append(q.Joins, relalg.JoinPred{
+			L: relalg.ColID{Rel: 0, Off: 97},
+			R: relalg.ColID{Rel: len(q.Rels) - 1, Off: 98},
+		})
+		return q, "join predicate added"
+	}
+	// Preferred target absent: add a scan predicate, always applicable.
+	q.Scans = append(q.Scans, relalg.ScanPred{
+		Col: relalg.ColID{Rel: int(r.Int64n(int64(len(q.Rels)))), Off: 99},
+		Op:  relalg.CmpEQ, Val: 424243,
+	})
+	return q, "scan predicate added"
+}
+
+// connectedSets enumerates every connected subexpression — the sets the
+// serving layer fingerprints for warm starts and feedback.
+func connectedSets(q *relalg.Query) []relalg.RelSet {
+	var sets []relalg.RelSet
+	q.AllRels().ProperSubsets(func(sub relalg.RelSet) {
+		if q.Connected(sub) {
+			sets = append(sets, sub)
+		}
+	})
+	return append(sets, q.AllRels())
+}
+
+func FuzzFingerprintStability(f *testing.F) {
+	for s := uint64(1); s <= 12; s++ {
+		f.Add(s, byte(s))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, sel byte) {
+		r := stats.NewRand(seed)
+		q := randQuery(r)
+		key := CanonicalKey(q)
+		fp := relalg.NewFingerprinter(q)
+		sets := connectedSets(q)
+		fps := make(map[relalg.RelSet]string, len(sets))
+		for _, set := range sets {
+			fps[set] = fp.Fingerprint(set)
+		}
+
+		same := preserveMutate(copyQuery(q), r)
+		if got := CanonicalKey(same); got != key {
+			t.Fatalf("spelling mutation changed the cache key:\n%s\n%s", key, got)
+		}
+		fpSame := relalg.NewFingerprinter(same)
+		for _, set := range sets {
+			if got := fpSame.Fingerprint(set); got != fps[set] {
+				t.Fatalf("spelling mutation changed fingerprint of %v:\n%s\n%s", set, fps[set], got)
+			}
+		}
+
+		changed, what := structMutate(copyQuery(q), r, sel)
+		if got := CanonicalKey(changed); got == key {
+			t.Fatalf("%s but the cache key is unchanged:\n%s", what, key)
+		}
+		all := q.AllRels()
+		if got := relalg.NewFingerprinter(changed).Fingerprint(all); got == fps[all] {
+			t.Fatalf("%s but the full-expression fingerprint is unchanged:\n%s", what, got)
+		}
+	})
+}

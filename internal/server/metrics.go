@@ -50,9 +50,21 @@ type Metrics struct {
 	// StatsKeys is the number of canonical subexpression fingerprints the
 	// server-wide statistics plane has learned about; WarmSeeds counts the
 	// factors it seeded into fresh entries before their first optimization.
-	// Statistics outlive evicted entries, so StatsKeys only grows.
+	// Statistics outlive evicted entries, so StatsKeys only shrinks when
+	// the ageing sweep reclaims fingerprints the workload stopped touching.
 	StatsKeys int
 	WarmSeeds int64
+
+	// Ageing observability for the statistics plane under data drift:
+	// StatsClock is the logical observation clock (total folds absorbed),
+	// StatsDecays counts folds that exponentially decayed stored history,
+	// StatsStale counts fingerprints currently beyond the staleness horizon
+	// (recorded but no longer warm-starting), and StatsReclaimed counts
+	// entries the sweep has deleted outright. All zero when ageing is off.
+	StatsClock     uint64
+	StatsDecays    int64
+	StatsStale     int
+	StatsReclaimed int64
 
 	PerEntry []EntryMetrics // in entry creation order
 }
@@ -67,13 +79,17 @@ func (s *Server) Metrics() Metrics {
 	s.mu.RUnlock()
 
 	m := Metrics{
-		Sessions:  s.sessions.Load(),
-		Entries:   len(entries),
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		StatsKeys: s.stats.Len(),
-		WarmSeeds: s.warmSeeds.Load(),
+		Sessions:       s.sessions.Load(),
+		Entries:        len(entries),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Evictions:      s.evictions.Load(),
+		StatsKeys:      s.stats.Len(),
+		WarmSeeds:      s.warmSeeds.Load(),
+		StatsClock:     s.stats.Clock(),
+		StatsDecays:    s.stats.Decays(),
+		StatsStale:     s.stats.StaleKeys(),
+		StatsReclaimed: s.stats.Reclaimed(),
 
 		// Start from the retired totals so evicted entries' history stays
 		// in the aggregate counters (their per-entry lines are gone).
@@ -129,7 +145,8 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "full-opts=%d (%v) repairs=%d (%v) converged-execs=%d\n",
 		m.FullOpts, m.FullOptTime.Round(time.Microsecond),
 		m.Repairs, m.RepairTime.Round(time.Microsecond), m.Converged)
-	fmt.Fprintf(&b, "stats-plane: keys=%d warm-seeds=%d\n", m.StatsKeys, m.WarmSeeds)
+	fmt.Fprintf(&b, "stats-plane: keys=%d warm-seeds=%d clock=%d decays=%d stale=%d reclaimed=%d\n",
+		m.StatsKeys, m.WarmSeeds, m.StatsClock, m.StatsDecays, m.StatsStale, m.StatsReclaimed)
 	for _, e := range m.PerEntry {
 		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d warm=%d plan=v%d\n",
 			e.Hash, e.Query, e.Hits, e.Execs,

@@ -103,8 +103,20 @@ type Options struct {
 
 	// Stats supplies the server-wide statistics plane; nil creates a
 	// private one. Sharing one store between servers (or across server
-	// restarts within a process) carries the learned cardinalities over.
+	// restarts within a process) carries the learned cardinalities over;
+	// for restarts across processes, persist the store with its Save/Load
+	// snapshot codec (cmd/reproserve's -stats-file does both ends).
 	Stats *fbstore.StatsStore
+
+	// DecayHalfLife and StaleAfter configure observation ageing on the
+	// private statistics store (see fbstore.Options): the half-life, in
+	// logical observations, at which past observations lose half their
+	// weight in the calibrated estimates, and the horizon beyond which an
+	// unobserved fingerprint stops warm-starting and is eventually
+	// reclaimed. Zero values keep the full history forever. Ignored when
+	// Stats is supplied — ageing policy belongs to whoever built the store.
+	DecayHalfLife float64
+	StaleAfter    uint64
 
 	// Dict resolves string literals in SQL text to dictionary codes and
 	// Date encodes date literals; see internal/sqlmini.
@@ -170,7 +182,10 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 	}
 	stats := opts.Stats
 	if stats == nil {
-		stats = fbstore.New()
+		stats = fbstore.NewWithOptions(fbstore.Options{
+			DecayHalfLife: opts.DecayHalfLife,
+			StaleAfter:    opts.StaleAfter,
+		})
 	}
 	return &Server{
 		cat:     cat,

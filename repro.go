@@ -68,6 +68,24 @@
 // statistics, so re-admission starts near-converged. ServerOptions.Stats
 // optionally shares one NewStatsStore between servers. Server.Shutdown
 // drains in-flight executions for a graceful stop.
+//
+// # Statistics persistence and ageing
+//
+// The statistics plane is durable and drift-aware. StatsStore.Save and
+// StatsStore.Load write and read a versioned snapshot of everything the
+// workload has learned (SaveFile/LoadFile add atomic file rotation), so a
+// restarted server re-prepares its workload with full-opt=1, warm-started
+// factors, and no relearning — cmd/reproserve wires this to -stats-file,
+// loading on boot and saving on shutdown. Under data drift, frozen
+// statistics mislead; StatsStoreOptions (or ServerOptions.DecayHalfLife /
+// StaleAfter for a server-private store) turn on observation ageing:
+// DecayHalfLife exponentially decays the cumulative observation history on
+// a logical observation clock, so post-drift feedback overturns a
+// confidently-wrong factor in O(half-life) observations instead of
+// O(history), and StaleAfter is the horizon beyond which an unobserved
+// fingerprint stops warm-starting and is eventually reclaimed. The
+// internal/driftkit harness replays phase-shifted workloads against a live
+// Server to assert exactly that repair-then-reconverge trajectory.
 package repro
 
 import (
@@ -203,11 +221,24 @@ type ServerMetrics = server.Metrics
 // StatsStore is the server-wide statistics plane: calibrated cardinality
 // observation state keyed by canonical subexpression fingerprint. Servers
 // create a private one by default; pass one through ServerOptions.Stats to
-// share learned statistics between servers or across server rebuilds.
+// share learned statistics between servers or across server rebuilds. Save
+// and Load (and SaveFile/LoadFile, with atomic rotation) persist the plane
+// across process restarts as a versioned snapshot.
 type StatsStore = fbstore.StatsStore
 
-// NewStatsStore builds an empty statistics plane.
+// StatsStoreOptions configures observation ageing for NewStatsStoreWith:
+// DecayHalfLife exponentially decays the cumulative observation history (in
+// logical observations), StaleAfter stops warm-starting — and eventually
+// reclaims — fingerprints the workload stopped observing. The zero value
+// keeps the full history forever.
+type StatsStoreOptions = fbstore.Options
+
+// NewStatsStore builds an empty statistics plane with ageing disabled.
 func NewStatsStore() *StatsStore { return fbstore.New() }
+
+// NewStatsStoreWith builds an empty statistics plane with the given ageing
+// configuration.
+func NewStatsStoreWith(o StatsStoreOptions) *StatsStore { return fbstore.NewWithOptions(o) }
 
 // NewServer builds a concurrent query service over the catalog. The catalog
 // must not be mutated afterwards.

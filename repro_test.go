@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -97,5 +98,77 @@ func TestFacadeParseSQL(t *testing.T) {
 	}
 	if plan.Expr != q.AllRels() {
 		t.Fatal("SQL-derived plan incomplete")
+	}
+}
+
+// TestFacadeStatsRestart simulates the reproserve kill/restart cycle through
+// the public facade: a server converges on a workload, saves its statistics
+// plane with atomic rotation, and a brand-new server (fresh plan cache,
+// fresh optimizers) loads the snapshot and re-prepares the same workload —
+// one full optimization per entry, warm-started factors, and repairs no
+// worse than the converged pre-restart state.
+func TestFacadeStatsRestart(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42, Skew: 0.5})
+	path := filepath.Join(t.TempDir(), "stats.json")
+	ageing := StatsStoreOptions{DecayHalfLife: 200, StaleAfter: 10000}
+
+	// First life: converge, then persist on "shutdown".
+	before := NewStatsStoreWith(ageing)
+	srv1, err := NewServer(cat, ServerOptions{Stats: before, Named: tpch.Queries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv1.Session().PrepareNamed("Q3S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Exec(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1.Shutdown()
+	if err := before.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a different process would start from the file alone.
+	after := NewStatsStoreWith(ageing)
+	if err := after.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if after.Clock() != before.Clock() || after.Len() != before.Len() {
+		t.Fatalf("snapshot lost state: clock %d/%d keys %d/%d",
+			after.Clock(), before.Clock(), after.Len(), before.Len())
+	}
+	srv2, err := NewServer(cat, ServerOptions{Stats: after, Named: tpch.Queries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := srv2.Session().PrepareNamed("Q3S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Hit {
+		t.Fatal("fresh server reported a plan-cache hit")
+	}
+	for i := 0; i < 3; i++ {
+		res, err := re.Exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Repaired {
+			t.Fatalf("restarted server repaired on exec %d despite loaded statistics", i)
+		}
+	}
+	m := srv2.Metrics()
+	if m.FullOpts != 1 {
+		t.Fatalf("restarted server full-opts=%d, want exactly 1 (the re-prepare miss)", m.FullOpts)
+	}
+	if m.WarmSeeds == 0 {
+		t.Fatal("restarted server was not warm-started from the snapshot")
+	}
+	if m.Repairs != 0 {
+		t.Fatalf("restarted server repairs=%d, want 0 (no worse than converged)", m.Repairs)
 	}
 }
