@@ -11,6 +11,8 @@
 //	reprobench -sf 0.01         # TPC-H scale factor
 //	reprobench -slices 60       # stream length for Figures 9/10
 //	reprobench -parallelism 4   # parallel pipeline workers during execution
+//	reprobench -fig layouts     # columnar vs row batch layout, rows/sec
+//	reprobench -columnar=false  # run every figure through the row layout
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation); empty = all")
+	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation,layouts); empty = all")
 	table := flag.String("table", "", "table to run (3); empty = all")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -31,11 +33,14 @@ func main() {
 	repeats := flag.Int("repeats", 5, "timing repetitions (minimum is reported)")
 	parallelism := flag.Int("parallelism", 1,
 		"executor pipeline workers wherever plans execute; <= 1 keeps execution serial (the paper's setting)")
+	columnar := flag.Bool("columnar", true,
+		"execute with columnar batches; false A/Bs the row-at-a-time layout behind the batch adapter")
 	flag.Parse()
 
 	env := bench.NewEnv(tpch.Config{ScaleFactor: *sf, Seed: *seed})
 	env.Repeats = *repeats
 	env.Parallelism = *parallelism
+	env.DisableColumnar = !*columnar
 
 	all := *fig == "" && *table == ""
 	show := func(ts ...*bench.Table) {
@@ -74,9 +79,12 @@ func main() {
 	if all || *fig == "ablation" {
 		show(env.AblationSearchOrder(), env.AblationPlanSpace())
 	}
+	if all || *fig == "layouts" {
+		show(env.ExecLayouts())
+	}
 	if !all && *fig != "" {
 		switch *fig {
-		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation":
+		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation", "layouts":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/relalg"
+	"repro/internal/tpch"
+	"repro/internal/volcano"
+)
+
+// ExecLayouts A/B-compares the executor's two batch layouts on the
+// benchmark queries: columnar (typed column vectors, the default) against
+// the row-at-a-time engine behind the batch adapter (reprobench
+// -columnar=false flips every other figure to the row layout too). Both
+// layouts execute the same optimized plan and produce identical results
+// and RunStats; the table reports minimum wall time and scan throughput —
+// total base-table rows referenced by the query per second of execution.
+func (e *Env) ExecLayouts() *Table {
+	par := e.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Executor batch layouts: columnar vs row (parallelism %d)", par),
+		Header: []string{"query", "layout", "min-time", "base-rows/sec"},
+	}
+	for _, q := range []*relalg.Query{tpch.Q1(), tpch.Q3S(), tpch.Q5()} {
+		vr, err := volcano.Optimize(e.Model(q), e.Space)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", q.Name, err))
+		}
+		var base int64
+		for _, r := range q.Rels {
+			tab, err := e.Cat.Table(r.Table)
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", q.Name, err))
+			}
+			base += int64(len(tab.Rows))
+		}
+		for _, layout := range []struct {
+			name    string
+			disable bool
+		}{{"columnar", false}, {"row", true}} {
+			comp := &exec.Compiler{Q: q, Cat: e.Cat, Parallelism: e.Parallelism,
+				DisableColumnar: layout.disable || e.DisableColumnar}
+			d := e.timeIt(func() {
+				v, _, err := comp.CompileVec(vr.Plan)
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s: %v", q.Name, err))
+				}
+				if _, err := exec.CountVec(v); err != nil {
+					panic(fmt.Sprintf("bench: %s: %v", q.Name, err))
+				}
+			})
+			t.Rows = append(t.Rows, []string{q.Name, layout.name,
+				d.String(), fmt.Sprintf("%.0f", float64(base)/d.Seconds())})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"base-rows/sec = total base-table rows referenced by the query / min wall time")
+	return t
+}

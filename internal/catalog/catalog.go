@@ -24,7 +24,9 @@ type ColStats struct {
 
 // Table is a base table: schema, optional row data, physical design and
 // statistics. Rows are fixed-arity []int64 records; strings and decimals are
-// dictionary/fixed-point encoded by the workload generators.
+// dictionary/fixed-point encoded by the workload generators. Alongside the
+// row-major Rows, the table maintains a column-major mirror (see Columns)
+// that the vectorized executor scans as zero-copy column windows.
 type Table struct {
 	Name     string
 	ColNames []string
@@ -35,6 +37,12 @@ type Table struct {
 	Cols     []ColStats
 	Indexes  []int // column offsets carrying an index, ascending
 	SortedBy int   // column offset of the physical sort order, or -1
+
+	// column-major mirror of Rows: colData[c][i] == Rows[i][c]. Built by
+	// Analyze (or lazily by Columns) and invalidated by Append; all
+	// columns share one contiguous backing array.
+	colData [][]int64
+	colRows int
 }
 
 // NewTable creates an empty table with the given schema. SortedBy defaults
@@ -97,6 +105,35 @@ func (t *Table) Append(row []int64) {
 			len(row), len(t.ColNames), t.Name))
 	}
 	t.Rows = append(t.Rows, row)
+	t.colData = nil // column mirror is stale until the next Analyze/Columns
+}
+
+// Columns returns the column-major mirror of Rows: Columns()[c][i] ==
+// Rows[i][c], with every column a window of one contiguous allocation. The
+// mirror is built by Analyze — callers that replace Rows wholesale (window
+// materialization) must Analyze before executing, which they already do for
+// statistics. Lazy (re)builds here are NOT safe under concurrent readers;
+// concurrent execution paths only ever see tables whose mirror Analyze has
+// already built.
+func (t *Table) Columns() [][]int64 {
+	if t.colData != nil && t.colRows == len(t.Rows) {
+		return t.colData
+	}
+	w := len(t.ColNames)
+	n := len(t.Rows)
+	cols := make([][]int64, w)
+	flat := make([]int64, w*n)
+	for c := range cols {
+		cols[c] = flat[c*n : (c+1)*n : (c+1)*n]
+	}
+	for i, r := range t.Rows {
+		for c, v := range r {
+			cols[c][i] = v
+		}
+	}
+	t.colData = cols
+	t.colRows = n
+	return cols
 }
 
 // Analyze recomputes NumRows and per-column statistics (distincts, min/max,
@@ -107,18 +144,19 @@ func (t *Table) Analyze(buckets int) {
 	}
 	t.NumRows = float64(len(t.Rows))
 	t.Cols = make([]ColStats, len(t.ColNames))
+	t.colData = nil // Rows may have been replaced wholesale; rebuild
 	if len(t.Rows) == 0 {
 		for i := range t.Cols {
 			t.Cols[i] = ColStats{Distinct: 1}
 		}
+		t.Columns()
 		return
 	}
-	col := make([]int64, len(t.Rows))
+	// Building histograms already transposes each column; Columns reuses
+	// that transposition as the executor's column-major mirror.
+	cols := t.Columns()
 	for c := range t.ColNames {
-		for i, row := range t.Rows {
-			col[i] = row[c]
-		}
-		h := stats.BuildHistogram(col, buckets)
+		h := stats.BuildHistogram(cols[c], buckets)
 		t.Cols[c] = ColStats{
 			Distinct: h.Distinct(),
 			Min:      h.Min(),

@@ -68,6 +68,189 @@ func (t *aggTable) add(r Row) {
 	}
 }
 
+// aggScratch is the reusable per-consumer scratch of the columnar
+// aggregation path: the batch hash vector and the resolved group id per
+// live row. One instance per serial consumer or pipeline worker.
+type aggScratch struct {
+	hashes []uint64
+	gids   []int32
+}
+
+// addBatch folds a column-major chunk (cols[c] holding rows 0..n-1, live
+// rows given by sel) into the table: group-key hashes are computed with one
+// column pass per key (bit-identical to hashCols, so merge stays
+// compatible), group ids are resolved once per row, and each accumulator
+// column is then updated in its own tight loop over the chunk — column
+// locality on both the input and the flat sums array.
+func (t *aggTable) addBatch(cols [][]int64, n int, sel []int, s *aggScratch) {
+	s.hashes = hashLive(s.hashes, cols, t.spec.GroupBy, n, sel)
+	m := len(s.hashes)
+	if cap(s.gids) < m {
+		s.gids = make([]int32, m)
+	}
+	s.gids = s.gids[:m]
+	t.resolveGids(cols, n, sel, s)
+	for si, c := range t.spec.Sums {
+		col, sums, sw := cols[c], t.sums, t.sw
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				sums[int(s.gids[i])*sw+si] += col[i]
+			}
+		} else {
+			for k, i := range sel {
+				sums[int(s.gids[k])*sw+si] += col[i]
+			}
+		}
+	}
+	for di, c := range t.spec.CountDistinct {
+		col := cols[c]
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				t.distinct[int(s.gids[i])*t.dw+di][col[i]] = struct{}{}
+			}
+		} else {
+			for k, i := range sel {
+				t.distinct[int(s.gids[k])*t.dw+di][col[i]] = struct{}{}
+			}
+		}
+	}
+}
+
+// resolveGids fills s.gids[k] with the group id of the k-th live row,
+// creating groups as needed, and bumps each group's COUNT(*) in the same
+// pass. The overwhelmingly common case — the group already exists and sits
+// in its home slot — is handled inline, with the key comparison specialized
+// for one- and two-column group keys so the hit path is pure slice reads;
+// home-slot misses fall into findOrCreateCols' full open-addressing probe.
+// Table fields (slots, hashes, keys, counts, mask) are reloaded every row
+// because a miss can grow the table mid-batch.
+func (t *aggTable) resolveGids(cols [][]int64, n int, sel []int, s *aggScratch) {
+	switch len(t.spec.GroupBy) {
+	case 1:
+		c0 := cols[t.spec.GroupBy[0]]
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				h := s.hashes[i]
+				g := -1
+				if gi := t.slots[h&t.mask]; gi > 0 {
+					if cand := int(gi - 1); t.hashes[cand] == h && t.keys[cand] == c0[i] {
+						g = cand
+					}
+				}
+				if g < 0 {
+					g = t.findOrCreateCols(h, cols, i)
+				}
+				s.gids[i] = int32(g)
+				t.counts[g]++
+			}
+		} else {
+			for k, i := range sel {
+				h := s.hashes[k]
+				g := -1
+				if gi := t.slots[h&t.mask]; gi > 0 {
+					if cand := int(gi - 1); t.hashes[cand] == h && t.keys[cand] == c0[i] {
+						g = cand
+					}
+				}
+				if g < 0 {
+					g = t.findOrCreateCols(h, cols, i)
+				}
+				s.gids[k] = int32(g)
+				t.counts[g]++
+			}
+		}
+	case 2:
+		c0, c1 := cols[t.spec.GroupBy[0]], cols[t.spec.GroupBy[1]]
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				h := s.hashes[i]
+				g := -1
+				if gi := t.slots[h&t.mask]; gi > 0 {
+					if cand := int(gi - 1); t.hashes[cand] == h &&
+						t.keys[cand*2] == c0[i] && t.keys[cand*2+1] == c1[i] {
+						g = cand
+					}
+				}
+				if g < 0 {
+					g = t.findOrCreateCols(h, cols, i)
+				}
+				s.gids[i] = int32(g)
+				t.counts[g]++
+			}
+		} else {
+			for k, i := range sel {
+				h := s.hashes[k]
+				g := -1
+				if gi := t.slots[h&t.mask]; gi > 0 {
+					if cand := int(gi - 1); t.hashes[cand] == h &&
+						t.keys[cand*2] == c0[i] && t.keys[cand*2+1] == c1[i] {
+						g = cand
+					}
+				}
+				if g < 0 {
+					g = t.findOrCreateCols(h, cols, i)
+				}
+				s.gids[k] = int32(g)
+				t.counts[g]++
+			}
+		}
+	default:
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				g := t.findOrCreateCols(s.hashes[i], cols, i)
+				s.gids[i] = int32(g)
+				t.counts[g]++
+			}
+		} else {
+			for k, i := range sel {
+				g := t.findOrCreateCols(s.hashes[k], cols, i)
+				s.gids[k] = int32(g)
+				t.counts[g]++
+			}
+		}
+	}
+}
+
+// findOrCreateCols is findOrCreate with the probe row read out of a
+// column-major chunk. h must be the hash of row i's group-key columns.
+func (t *aggTable) findOrCreateCols(h uint64, cols [][]int64, i int) int {
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		gi := t.slots[s]
+		if gi == 0 {
+			g := t.n
+			t.n++
+			t.slots[s] = int32(g + 1)
+			t.hashes = append(t.hashes, h)
+			for _, c := range t.spec.GroupBy {
+				t.keys = append(t.keys, cols[c][i])
+			}
+			t.sums = append(t.sums, make([]int64, t.sw)...)
+			t.counts = append(t.counts, 0)
+			for d := 0; d < t.dw; d++ {
+				t.distinct = append(t.distinct, map[int64]struct{}{})
+			}
+			if uint64(t.n)*4 > (t.mask+1)*3 {
+				t.grow()
+			}
+			return g
+		}
+		g := int(gi - 1)
+		if t.hashes[g] != h {
+			continue
+		}
+		eq := true
+		for k, c := range t.spec.GroupBy {
+			if t.keys[g*t.gw+k] != cols[c][i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return g
+		}
+	}
+}
+
 // findOrCreate returns the group id of r's key columns, creating the group
 // if absent. h must be hashCols(r, spec.GroupBy).
 func (t *aggTable) findOrCreate(h uint64, r Row) int {
@@ -245,14 +428,15 @@ func (a *hashAggOp) Close() error { a.out = nil; return nil }
 type vecHashAggOp struct {
 	in    VecIterator
 	spec  AggSpecExec
-	out   [][]int64
+	out   colData
 	pos   int
 	batch Batch
 }
 
 // NewVecHashAgg is the vectorized counterpart of NewHashAgg: it consumes
-// its input batch-at-a-time and emits the aggregated groups as dense
-// batches in the same deterministic order.
+// its input batch-at-a-time through aggTable.addBatch (columnar group-key
+// hashing and per-column accumulator loops) and emits the aggregated groups
+// as dense column windows in the same deterministic order.
 func NewVecHashAgg(in VecIterator, spec AggSpecExec) VecIterator {
 	return &vecHashAggOp{in: in, spec: spec}
 }
@@ -262,6 +446,7 @@ func (a *vecHashAggOp) Open() error {
 	if err := a.in.Open(); err != nil {
 		return err
 	}
+	var scratch aggScratch
 	for {
 		b, err := a.in.Next()
 		if err != nil {
@@ -270,42 +455,45 @@ func (a *vecHashAggOp) Open() error {
 		if b == nil {
 			break
 		}
-		if b.Sel == nil {
-			for _, r := range b.Rows {
-				t.add(Row(r))
-			}
-		} else {
-			for _, i := range b.Sel {
-				t.add(Row(b.Rows[i]))
-			}
-		}
+		t.addBatch(b.Cols, b.N, b.Sel, &scratch)
 	}
 	if err := a.in.Close(); err != nil {
 		return err
 	}
 	rows := t.rows()
-	a.out = make([][]int64, len(rows))
-	for i, r := range rows {
-		a.out[i] = r
+	var arity int
+	if len(rows) > 0 {
+		arity = len(rows[0])
 	}
+	a.out = transposeRows(rowsAsRaw(rows), arity)
 	a.pos = 0
 	return nil
 }
 
+func rowsAsRaw(rows []Row) [][]int64 {
+	out := make([][]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
 func (a *vecHashAggOp) Next() (*Batch, error) {
-	if a.pos >= len(a.out) {
+	if a.pos >= a.out.n {
 		return nil, nil
 	}
 	end := a.pos + BatchSize
-	if end > len(a.out) {
-		end = len(a.out)
+	if end > a.out.n {
+		end = a.out.n
 	}
-	a.batch = Batch{Rows: a.out[a.pos:end]}
+	a.batch.Cols = a.out.window(a.batch.Cols, a.pos, end)
+	a.batch.N = end - a.pos
+	a.batch.Sel = nil
 	a.pos = end
 	return &a.batch, nil
 }
 
-func (a *vecHashAggOp) Close() error { a.out = nil; return nil }
+func (a *vecHashAggOp) Close() error { a.out = colData{}; return nil }
 
 func rowLess(a, b Row) bool {
 	for i := range a {

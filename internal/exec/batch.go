@@ -3,22 +3,28 @@ package exec
 import "errors"
 
 // BatchSize is the fixed batch capacity of the vectorized executor. Batches
-// are row-chunked: a window of up to BatchSize rows plus an optional
-// selection vector, so leaf scans hand out zero-copy windows over the base
-// table and predicates only ever touch the selection vector.
+// are column-major: up to BatchSize rows held as one contiguous []int64 per
+// column, plus an optional selection vector, so leaf scans hand out
+// zero-copy column windows over the base table and predicate/join/agg
+// kernels run tight loops over contiguous typed slices.
 const BatchSize = 1024
 
-// Batch is one unit of vectorized data flow.
+// Batch is one unit of vectorized data flow, laid out column-major:
+// Cols[c][i] is column c of row i, 0 <= i < N. Sel, when non-nil, lists the
+// live row indices in ascending order; nil means all N rows are live.
 //
-// Ownership contract: the row slices reachable through Row(i) are immutable
-// and may be retained by consumers indefinitely (they alias either base
-// table storage or freshly allocated output rows). The Batch struct itself,
-// its Rows header and its Sel vector are owned by the producer and may be
-// reused as soon as the consumer asks for the next batch — consumers must
-// copy row references out, never the Batch, Rows or Sel.
+// Ownership contract (columnar): the column slices reachable through Cols
+// either alias immutable base-table storage (zero-copy scan windows) or are
+// output buffers owned by the producing operator. The Batch struct, its
+// Cols headers, the column buffers of produced batches, and the Sel vector
+// are ALL recycled by the producer as soon as the consumer asks for the
+// next batch. Consumers must therefore copy values out (not retain Cols or
+// Sel) before calling Next again; DrainVec and the materializing drains do
+// exactly one such copy per row.
 type Batch struct {
-	Rows [][]int64
-	Sel  []int // indices of live rows in Rows; nil means all rows are live
+	Cols [][]int64
+	N    int
+	Sel  []int
 }
 
 // Len returns the number of live rows.
@@ -26,16 +32,11 @@ func (b *Batch) Len() int {
 	if b.Sel != nil {
 		return len(b.Sel)
 	}
-	return len(b.Rows)
+	return b.N
 }
 
-// Row returns the i-th live row.
-func (b *Batch) Row(i int) Row {
-	if b.Sel != nil {
-		return Row(b.Rows[b.Sel[i]])
-	}
-	return Row(b.Rows[i])
-}
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Cols) }
 
 // VecIterator is the batch-at-a-time (vectorized Volcano) operator
 // interface. Next returns nil at end of stream.
@@ -50,6 +51,9 @@ type VecIterator interface {
 }
 
 // DrainVec runs a vectorized iterator to completion and returns all rows.
+// Each batch's live rows are copied out of the (recycled) columnar batch
+// exactly once, into one backing allocation per batch; the returned rows
+// are never reused and may be retained indefinitely.
 func DrainVec(v VecIterator) ([]Row, error) {
 	if err := v.Open(); err != nil {
 		return nil, errors.Join(err, v.Close())
@@ -63,8 +67,26 @@ func DrainVec(v VecIterator) ([]Row, error) {
 		if b == nil {
 			break
 		}
-		for i, n := 0, b.Len(); i < n; i++ {
-			out = append(out, b.Row(i))
+		n, w := b.Len(), b.Width()
+		if n == 0 {
+			continue
+		}
+		buf := make([]int64, n*w)
+		if b.Sel == nil {
+			for c, col := range b.Cols {
+				for i := 0; i < n; i++ {
+					buf[i*w+c] = col[i]
+				}
+			}
+		} else {
+			for c, col := range b.Cols {
+				for k, i := range b.Sel {
+					buf[k*w+c] = col[i]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, Row(buf[i*w:(i+1)*w:(i+1)*w]))
 		}
 	}
 	return out, v.Close()
@@ -90,17 +112,162 @@ func CountVec(v VecIterator) (int64, error) {
 	return n, v.Close()
 }
 
+// ---- materialized columnar data ----
+
+// colData is a materialized column-major row set: cols[c][i] is column c of
+// row i, 0 <= i < n. It is the unit of blocking materialization (join build
+// sides, sort runs, pipeline outputs) and of base-table storage handed out
+// by the catalog.
+type colData struct {
+	cols [][]int64
+	n    int
+}
+
+func newColData(width, capHint int) colData {
+	cols := make([][]int64, width)
+	for c := range cols {
+		cols[c] = make([]int64, 0, capHint)
+	}
+	return colData{cols: cols}
+}
+
+func (d *colData) width() int { return len(d.cols) }
+
+// window returns the zero-copy column windows of rows [lo, hi) into dst
+// (reused across calls).
+func (d *colData) window(dst [][]int64, lo, hi int) [][]int64 {
+	dst = dst[:0]
+	for _, col := range d.cols {
+		dst = append(dst, col[lo:hi])
+	}
+	return dst
+}
+
+// appendBatch copies a batch's live rows onto the end of d, initializing
+// the column set from the first batch.
+func (d *colData) appendBatch(b *Batch) {
+	if d.cols == nil {
+		d.cols = make([][]int64, b.Width())
+	}
+	if b.Sel == nil {
+		for c := range d.cols {
+			d.cols[c] = append(d.cols[c], b.Cols[c][:b.N]...)
+		}
+	} else {
+		for c := range d.cols {
+			col, dst := b.Cols[c], d.cols[c]
+			for _, i := range b.Sel {
+				dst = append(dst, col[i])
+			}
+			d.cols[c] = dst
+		}
+	}
+	d.n += b.Len()
+}
+
+// appendSel copies the selected rows of a column window set onto d.
+func (d *colData) appendSel(cols [][]int64, n int, sel []int) {
+	if d.cols == nil {
+		d.cols = make([][]int64, len(cols))
+	}
+	if sel == nil {
+		for c := range d.cols {
+			d.cols[c] = append(d.cols[c], cols[c][:n]...)
+		}
+		d.n += n
+		return
+	}
+	for c := range d.cols {
+		col, dst := cols[c], d.cols[c]
+		for _, i := range sel {
+			dst = append(dst, col[i])
+		}
+		d.cols[c] = dst
+	}
+	d.n += len(sel)
+}
+
+// appendFrom concatenates another colData (the per-worker merge).
+func (d *colData) appendFrom(o colData) {
+	if d.cols == nil {
+		d.cols = make([][]int64, o.width())
+	}
+	for c := range d.cols {
+		d.cols[c] = append(d.cols[c], o.cols[c]...)
+	}
+	d.n += o.n
+}
+
+// row gathers row i into dst (grown as needed) — the row-compatibility
+// primitive; hot paths never call it.
+func (d *colData) row(dst Row, i int) Row {
+	dst = dst[:0]
+	for _, col := range d.cols {
+		dst = append(dst, col[i])
+	}
+	return dst
+}
+
+// transposeRows converts row-major data (the Compiler.Data override path
+// and test helpers) into columnar form.
+func transposeRows(rows [][]int64, arity int) colData {
+	d := newColData(arity, len(rows))
+	for _, r := range rows {
+		for c := range d.cols {
+			d.cols[c] = append(d.cols[c], r[c])
+		}
+	}
+	d.n = len(rows)
+	return d
+}
+
+// colDrainer is implemented by operators that can materialize their entire
+// output as colData without going through the batch stream. drainVecCols
+// uses it as a fast path, so blocking consumers (hash-join build, merge
+// join, sort) drain parallel scans and fused pipelines at full worker
+// parallelism instead of serializing every batch through one consumer.
+type colDrainer interface {
+	drainCols() (colData, error)
+}
+
+// drainVecCols opens in, materializes every live row column-wise and closes
+// it — the materializing primitive shared by sort, merge join, hash join
+// builds and the pipeline's build sides.
+func drainVecCols(in VecIterator) (colData, error) {
+	if d, ok := in.(colDrainer); ok {
+		return d.drainCols()
+	}
+	var out colData
+	if err := in.Open(); err != nil {
+		return out, errors.Join(err, in.Close())
+	}
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return out, errors.Join(err, in.Close())
+		}
+		if b == nil {
+			break
+		}
+		out.appendBatch(b)
+	}
+	return out, in.Close()
+}
+
 // ---- row compatibility shim ----
 
 type vecRowIter struct {
-	v VecIterator
-	b *Batch
-	i int
+	v     VecIterator
+	b     *Batch
+	i     int
+	alloc rowAlloc
 }
 
 // NewRowIterator adapts a vectorized operator tree to the row-at-a-time
 // Iterator interface, so Drain/Count and every legacy consumer keep working
-// on top of the batch executor.
+// on top of the columnar batch executor. Emitted rows are gathered out of
+// the batch into carved storage (one allocation per BatchSize rows) and may
+// be retained by the caller.
 func NewRowIterator(v VecIterator) Iterator { return &vecRowIter{v: v} }
 
 func (r *vecRowIter) Open() error { return r.v.Open() }
@@ -108,8 +275,15 @@ func (r *vecRowIter) Open() error { return r.v.Open() }
 func (r *vecRowIter) Next() (Row, bool, error) {
 	for {
 		if r.b != nil && r.i < r.b.Len() {
-			row := r.b.Row(r.i)
+			idx := r.i
+			if r.b.Sel != nil {
+				idx = r.b.Sel[r.i]
+			}
 			r.i++
+			row := r.alloc.row(r.b.Width())
+			for _, col := range r.b.Cols {
+				row = append(row, col[idx])
+			}
 			return row, true, nil
 		}
 		b, err := r.v.Next()
@@ -148,43 +322,57 @@ func (a *rowAlloc) row(w int) Row {
 // ---- vectorized scan ----
 
 type vecScanOp struct {
-	rows   [][]int64
+	data   colData
 	filter ScanFilter
 	pos    int
 	batch  Batch
 	sel    []int
 }
 
-// NewVecScan returns a serial vectorized filtering scan over materialized
-// rows: each batch is a zero-copy window of the input with a selection
-// vector for the surviving rows. Structured conditions in the filter are
-// evaluated with per-batch kernels (one operator dispatch per batch).
-func NewVecScan(rows [][]int64, filter ScanFilter) VecIterator {
-	return &vecScanOp{rows: rows, filter: filter}
+// NewVecScan returns a serial vectorized filtering scan over column-major
+// data (cols[c] must all have length n): each batch is a set of zero-copy
+// column windows with a selection vector for the surviving rows. Structured
+// conditions in the filter are evaluated with typed columnar kernels (one
+// operator dispatch per batch over contiguous slices).
+func NewVecScan(cols [][]int64, n int, filter ScanFilter) VecIterator {
+	return &vecScanOp{data: colData{cols: cols, n: n}, filter: filter}
+}
+
+// NewVecScanRows is NewVecScan over row-major input, transposed once at
+// construction — the Data-override and test-convenience path.
+func NewVecScanRows(rows [][]int64, filter ScanFilter) VecIterator {
+	var arity int
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	d := transposeRows(rows, arity)
+	return &vecScanOp{data: d, filter: filter}
 }
 
 func (s *vecScanOp) Open() error { s.pos = 0; return nil }
 
 func (s *vecScanOp) Next() (*Batch, error) {
-	for s.pos < len(s.rows) {
+	for s.pos < s.data.n {
 		end := s.pos + BatchSize
-		if end > len(s.rows) {
-			end = len(s.rows)
+		if end > s.data.n {
+			end = s.data.n
 		}
-		chunk := s.rows[s.pos:end]
+		lo := s.pos
 		s.pos = end
+		s.batch.Cols = s.data.window(s.batch.Cols, lo, end)
+		s.batch.N = end - lo
 		if s.filter.Empty() {
-			s.batch = Batch{Rows: chunk}
+			s.batch.Sel = nil
 			return &s.batch, nil
 		}
 		if s.sel == nil {
 			s.sel = make([]int, 0, BatchSize)
 		}
-		s.sel = s.filter.Sel(chunk, s.sel)
+		s.sel = s.filter.SelCols(s.batch.Cols, s.batch.N, s.sel)
 		if len(s.sel) == 0 {
 			continue
 		}
-		s.batch = Batch{Rows: chunk, Sel: s.sel}
+		s.batch.Sel = s.sel
 		return &s.batch, nil
 	}
 	return nil, nil
@@ -195,12 +383,13 @@ func (s *vecScanOp) Close() error { return nil }
 // ---- vectorized projection ----
 
 type vecProjectOp struct {
-	in   VecIterator
-	cols []int
-	batchEmitter
+	in    VecIterator
+	cols  []int
+	batch Batch
 }
 
-// NewVecProject returns vectorized column projection.
+// NewVecProject returns vectorized column projection — with a columnar
+// layout this is pure column-header shuffling, zero copies.
 func NewVecProject(in VecIterator, cols []int) VecIterator {
 	return &vecProjectOp{in: in, cols: cols}
 }
@@ -212,16 +401,14 @@ func (p *vecProjectOp) Next() (*Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	out := p.rows[:0]
-	for i, n := 0, b.Len(); i < n; i++ {
-		r := b.Row(i)
-		o := p.alloc.row(len(p.cols))
-		for _, c := range p.cols {
-			o = append(o, r[c])
-		}
-		out = append(out, o)
+	out := p.batch.Cols[:0]
+	for _, c := range p.cols {
+		out = append(out, b.Cols[c])
 	}
-	return p.flush(out), nil
+	p.batch.Cols = out
+	p.batch.N = b.N
+	p.batch.Sel = b.Sel
+	return &p.batch, nil
 }
 
 func (p *vecProjectOp) Close() error { return p.in.Close() }
@@ -231,40 +418,42 @@ func (p *vecProjectOp) Close() error { return p.in.Close() }
 type vecSortOp struct {
 	in    VecIterator
 	col   int
-	rows  [][]int64
+	data  colData
 	pos   int
 	batch Batch
 }
 
 // NewVecSort materializes and sorts its input by the given column, emitting
-// dense zero-copy batches of the sorted run.
+// dense zero-copy column windows of the sorted run. Sorting permutes a row
+// index vector, then gathers each column once.
 func NewVecSort(in VecIterator, col int) VecIterator { return &vecSortOp{in: in, col: col} }
 
 func (s *vecSortOp) Open() error {
-	rows, err := drainVecRows(s.in)
+	data, err := drainVecCols(s.in)
 	if err != nil {
 		return err
 	}
-	sortRowsStable(rows, s.col)
-	s.rows = rows
+	s.data = sortColsStable(data, s.col)
 	s.pos = 0
 	return nil
 }
 
 func (s *vecSortOp) Next() (*Batch, error) {
-	if s.pos >= len(s.rows) {
+	if s.pos >= s.data.n {
 		return nil, nil
 	}
 	end := s.pos + BatchSize
-	if end > len(s.rows) {
-		end = len(s.rows)
+	if end > s.data.n {
+		end = s.data.n
 	}
-	s.batch = Batch{Rows: s.rows[s.pos:end]}
+	s.batch.Cols = s.data.window(s.batch.Cols, s.pos, end)
+	s.batch.N = end - s.pos
+	s.batch.Sel = nil
 	s.pos = end
 	return &s.batch, nil
 }
 
-func (s *vecSortOp) Close() error { s.rows = nil; return nil }
+func (s *vecSortOp) Close() error { s.data = colData{}; return nil }
 
 // ---- vectorized cardinality counter ----
 
@@ -290,43 +479,11 @@ func (c *vecCounterOp) Next() (*Batch, error) {
 
 func (c *vecCounterOp) Close() error { return c.in.Close() }
 
-// drainRows forwards the parallel drain fast path through the counter,
+// drainCols forwards the parallel drain fast path through the counter,
 // keeping the counted cardinality exact: the materialized row count is by
 // definition the operator's output cardinality.
-func (c *vecCounterOp) drainRows() ([][]int64, error) {
-	rows, err := drainVecRows(c.in)
-	*c.n += int64(len(rows))
-	return rows, err
-}
-
-// drainVecRows opens in, collects every live row reference and closes it —
-// the materializing primitive shared by sort, merge join, hash agg and the
-// pipeline's build sides. Sources that support it (parallel scans, possibly
-// under counters) are drained via rowDrainer at full worker parallelism
-// instead of through the single-consumer exchange.
-func drainVecRows(in VecIterator) ([][]int64, error) {
-	if d, ok := in.(rowDrainer); ok {
-		return d.drainRows()
-	}
-	if err := in.Open(); err != nil {
-		return nil, errors.Join(err, in.Close())
-	}
-	var rows [][]int64
-	for {
-		b, err := in.Next()
-		if err != nil {
-			return nil, errors.Join(err, in.Close())
-		}
-		if b == nil {
-			break
-		}
-		if b.Sel == nil {
-			rows = append(rows, b.Rows...)
-		} else {
-			for _, i := range b.Sel {
-				rows = append(rows, b.Rows[i])
-			}
-		}
-	}
-	return rows, in.Close()
+func (c *vecCounterOp) drainCols() (colData, error) {
+	d, err := drainVecCols(c.in)
+	*c.n += int64(d.n)
+	return d, err
 }

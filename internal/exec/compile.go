@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/relalg"
@@ -64,7 +66,70 @@ type Compiler struct {
 	// exchange), so RunStats feedback into the adaptive layer is
 	// unaffected.
 	Parallelism int
+	// DisableColumnar routes CompileVec through the row-at-a-time engine
+	// wrapped in a batch adapter — the escape hatch for A/B-ing the
+	// columnar layout (reprobench -columnar=false). The REPRO_COLUMNAR
+	// environment variable ("0"/"false" disables) flips the same switch
+	// process-wide. RunStats feedback is identical either way.
+	DisableColumnar bool
 }
+
+// columnarDefault is the process-wide layout switch read from
+// REPRO_COLUMNAR at startup; unset or anything but "0"/"false"/"off"/"no"
+// means columnar.
+var columnarDefault = func() bool {
+	switch strings.ToLower(os.Getenv("REPRO_COLUMNAR")) {
+	case "0", "false", "off", "no":
+		return false
+	}
+	return true
+}()
+
+func (c *Compiler) columnarEnabled() bool { return columnarDefault && !c.DisableColumnar }
+
+// rowVecAdapter presents a row-at-a-time iterator tree as a VecIterator,
+// transposing rows into a reused columnar batch — the DisableColumnar
+// execution path, and deliberately the only place the disabled layout pays
+// a per-row transposition cost.
+type rowVecAdapter struct {
+	in    Iterator
+	batch Batch
+}
+
+func (a *rowVecAdapter) Open() error { return a.in.Open() }
+
+func (a *rowVecAdapter) Next() (*Batch, error) {
+	n := 0
+	for n < BatchSize {
+		r, ok, err := a.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if a.batch.Cols == nil {
+			w := len(r)
+			flat := make([]int64, w*BatchSize)
+			a.batch.Cols = make([][]int64, w)
+			for c := range a.batch.Cols {
+				a.batch.Cols[c] = flat[c*BatchSize : (c+1)*BatchSize : (c+1)*BatchSize]
+			}
+		}
+		for c, v := range r {
+			a.batch.Cols[c][n] = v
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	a.batch.N = n
+	a.batch.Sel = nil
+	return &a.batch, nil
+}
+
+func (a *rowVecAdapter) Close() error { return a.in.Close() }
 
 // Compile builds the vectorized operator tree for plan and adapts it to the
 // row-at-a-time Iterator interface, wiring a cardinality counter onto every
@@ -81,6 +146,13 @@ func (c *Compiler) Compile(plan *relalg.Plan) (Iterator, *RunStats, error) {
 // CompileVec builds the vectorized (batch-at-a-time) operator tree for
 // plan. It is the primary execution path; Compile wraps it in the row shim.
 func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error) {
+	if !c.columnarEnabled() {
+		it, stats, err := c.CompileRow(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &rowVecAdapter{in: it}, stats, nil
+	}
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
 	// Full-pipeline fusion at the root: when the query aggregates, the
 	// fused pipeline's terminal becomes worker-local partial aggregation
@@ -186,6 +258,23 @@ func (c *Compiler) tableArity(rel int) (int, error) {
 		return 0, err
 	}
 	return len(t.ColNames), nil
+}
+
+// cols returns the column-major data of a query relation: the catalog
+// table's zero-copy column mirror, or — for Data-overridden relations (the
+// stream layer's window buffers) — a one-time transposition of the override
+// rows.
+func (c *Compiler) cols(rel int) (colData, error) {
+	t, err := c.Cat.Table(c.Q.Rels[rel].Table)
+	if err != nil {
+		return colData{}, err
+	}
+	if c.Data != nil {
+		if rows := c.Data(rel); rows != nil {
+			return transposeRows(rows, len(t.ColNames)), nil
+		}
+	}
+	return colData{cols: t.Columns(), n: len(t.Rows)}, nil
 }
 
 // compile returns the iterator and its output schema (the ColID of every
@@ -339,7 +428,7 @@ func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iter
 func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []relalg.ColID, error) {
 	switch p.Log {
 	case relalg.LogScan:
-		rows, err := c.rows(p.Rel)
+		data, err := c.cols(p.Rel)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -355,7 +444,7 @@ func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []r
 		if err != nil {
 			return nil, nil, err
 		}
-		v := c.scanVec(rows, ScanFilter{Conds: conds})
+		v := c.scanVec(data, ScanFilter{Conds: conds})
 		if p.Prop.Kind == relalg.PropSorted {
 			off, err := colOffset(schema, p.Prop.Col)
 			if err != nil {
@@ -418,13 +507,13 @@ func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []r
 			if err != nil {
 				return nil, nil, err
 			}
-			residual, err := c.filterPredsOnly(p, schema)
+			residual, err := c.colFilterPredsOnly(p, schema)
 			if err != nil {
 				return nil, nil, err
 			}
 			v = NewVecHashJoin(left, right, lKeys, rKeys, residual, c.Parallelism)
 		case relalg.PhyMergeJoin:
-			residual, err := c.residualPreds(p, schema)
+			residual, err := c.colResidualPreds(p, schema)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -447,11 +536,11 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 	for i := range innerSchema {
 		innerSchema[i] = relalg.ColID{Rel: inner, Off: i}
 	}
-	innerRows, err := c.rows(inner)
+	innerData, err := c.cols(inner)
 	if err != nil {
 		return nil, nil, err
 	}
-	innerPreds, err := c.scanPreds(inner, innerSchema)
+	innerConds, err := c.scanConds(inner, innerSchema)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -459,7 +548,7 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 	if innerCol.Rel != inner {
 		innerCol, outerCol = outerCol, innerCol
 	}
-	index := BuildIndex(innerRows, innerCol.Off, innerPreds)
+	index := buildColIndex(innerData, innerCol.Off, ScanFilter{Conds: innerConds})
 
 	outer, os, err := c.compileVec(p.Right, stats)
 	if err != nil {
@@ -470,11 +559,11 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 		return nil, nil, err
 	}
 	schema := append(append([]relalg.ColID(nil), innerSchema...), os...)
-	residual, err := c.residualPreds(p, schema)
+	residual, err := c.colResidualPreds(p, schema)
 	if err != nil {
 		return nil, nil, err
 	}
-	v := NewVecIndexNLJoin(outer, index, ok, innerArity, residual)
+	v := NewVecIndexNLJoin(outer, index, ok, residual)
 	return c.countedVec(v, p.Expr, stats), schema, nil
 }
 
@@ -505,11 +594,11 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 	if cur.Log != relalg.LogScan || cur.Prop.Kind == relalg.PropSorted || cur.Phy == relalg.PhyIndexScan {
 		return nil, nil, false, nil
 	}
-	rows, err := c.rows(cur.Rel)
+	data, err := c.cols(cur.Rel)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	if len(rows) < minParallelRows {
+	if data.n < minParallelRows {
 		return nil, nil, false, nil
 	}
 	arity, err := c.tableArity(cur.Rel)
@@ -547,25 +636,25 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 			return nil, nil, false, err
 		}
 		schema = append(append([]relalg.ColID(nil), ls...), schema...)
-		residual, err := c.filterPredsOnly(pj, schema)
+		residual, err := c.colFilterPredsOnly(pj, schema)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		stages = append(stages, &pipeStage{build: build, buildKeys: lKeys,
 			probeKeys: rKeys, residual: residual, card: stats.counter(pj.Expr)})
 	}
-	op := newParallelPipeline(rows, ScanFilter{Conds: conds}, scanCard, stages, c.Parallelism)
+	op := newParallelPipeline(data, ScanFilter{Conds: conds}, scanCard, stages, c.Parallelism)
 	return op, schema, true, nil
 }
 
 // scanVec picks the leaf scan implementation: morsel-driven parallel when
 // the Parallelism option allows it and the table is large enough to pay for
 // worker startup, serial otherwise.
-func (c *Compiler) scanVec(rows [][]int64, filter ScanFilter) VecIterator {
-	if c.Parallelism > 1 && len(rows) >= minParallelRows {
-		return NewParallelScan(rows, filter, c.Parallelism)
+func (c *Compiler) scanVec(data colData, filter ScanFilter) VecIterator {
+	if c.Parallelism > 1 && data.n >= minParallelRows {
+		return NewParallelScan(data.cols, data.n, filter, c.Parallelism)
 	}
-	return NewVecScan(rows, filter)
+	return NewVecScan(data.cols, data.n, filter)
 }
 
 func (c *Compiler) countedVec(v VecIterator, set relalg.RelSet, stats *RunStats) VecIterator {
@@ -665,6 +754,68 @@ func (c *Compiler) filterPredsOnly(p *relalg.Plan, schema []relalg.ColID) ([]Pre
 		}
 		op, off := f.Op, f.Off
 		preds = append(preds, func(r Row) bool { return op.Eval(r[lo], r[ro]+off) })
+	}
+	return preds, nil
+}
+
+// colFilterPredsOnly is filterPredsOnly compiled to structured ColPreds —
+// the vectorized joins evaluate these directly on (build, probe) index
+// pairs without materializing a row.
+func (c *Compiler) colFilterPredsOnly(p *relalg.Plan, schema []relalg.ColID) ([]ColPred, error) {
+	var preds []ColPred
+	lset, rset := p.Left.Expr, p.Right.Expr
+	for _, f := range c.Q.Filters {
+		crosses := (lset.Has(f.L.Rel) && rset.Has(f.R.Rel)) || (rset.Has(f.L.Rel) && lset.Has(f.R.Rel))
+		if !crosses {
+			continue
+		}
+		lo, err := colOffset(schema, f.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, f.R)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, ColPred{L: lo, R: ro, Op: f.Op, Off: f.Off})
+	}
+	return preds, nil
+}
+
+// colResidualPreds is residualPreds compiled to structured ColPreds: the
+// secondary equi-join predicates become {CmpEQ, 0} entries, the
+// cross-relation filters keep their operator and constant offset.
+func (c *Compiler) colResidualPreds(p *relalg.Plan, schema []relalg.ColID) ([]ColPred, error) {
+	var preds []ColPred
+	lset, rset := p.Left.Expr, p.Right.Expr
+	for pi, jp := range c.Q.Joins {
+		if pi == p.Pred || !jp.Crosses(lset, rset) {
+			continue
+		}
+		lo, err := colOffset(schema, jp.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, jp.R)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, ColPred{L: lo, R: ro, Op: relalg.CmpEQ})
+	}
+	for _, f := range c.Q.Filters {
+		crosses := (lset.Has(f.L.Rel) && rset.Has(f.R.Rel)) || (rset.Has(f.L.Rel) && lset.Has(f.R.Rel))
+		if !crosses {
+			continue
+		}
+		lo, err := colOffset(schema, f.L)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := colOffset(schema, f.R)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, ColPred{L: lo, R: ro, Op: f.Op, Off: f.Off})
 	}
 	return preds, nil
 }

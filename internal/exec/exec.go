@@ -6,10 +6,19 @@
 // back into incremental re-optimization (the paper's §5.2.2 "changes based
 // on real execution" and §5.4 loop).
 //
-// The primary execution model is vectorized: operators implement
-// VecIterator and exchange row-chunked batches of up to BatchSize rows with
-// selection vectors for pushed-down predicates (batch.go, vecjoin.go).
-// Under the compiler's Parallelism option, parallelism is morsel-driven and
+// The primary execution model is vectorized and columnar: operators
+// implement VecIterator and exchange column-major batches — up to BatchSize
+// rows held as one contiguous []int64 per column, with a selection vector
+// for pushed-down predicates (batch.go). Leaf scans hand out zero-copy
+// column windows over column-major base-table storage (catalog.Columns),
+// so a filtering scan reads only the columns its conditions touch; the hot
+// kernels — per-operator predicate selection, vectorized multiplicative
+// hashing, join result stitching via Gather, flat-table aggregation — are
+// tight loops over contiguous slices dispatched once per batch (kernels.go,
+// exprkernels.go, vecjoin.go, agg.go). Batch column slices are recycled, so
+// consumers copy values out before the producer's next call; DrainVec and
+// the operator-internal materializing drains do exactly one such copy per
+// row. Under the compiler's Parallelism option, parallelism is morsel-driven and
 // extends across whole pipelines (pipeline.go): right-spine hash-join
 // chains over a large leaf scan fuse into a parallelPipelineOp whose
 // workers each run the full scan → probe cascade → partial-aggregate chain

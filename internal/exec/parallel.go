@@ -14,43 +14,40 @@ const morselSize = BatchSize
 // this, worker startup dominates the scan itself.
 const minParallelRows = 4 * morselSize
 
-// rowDrainer is implemented by operators that can materialize their entire
-// output into per-worker buffers without going through the batch exchange.
-// drainVecRows uses it as a fast path, so blocking consumers (hash-join
-// build, merge join, sort) drain parallel scans at full worker parallelism
-// instead of serializing every batch through one channel consumer.
-type rowDrainer interface {
-	drainRows() ([][]int64, error)
-}
-
 type parallelScanOp struct {
-	rows    [][]int64
+	data    colData
 	filter  ScanFilter
 	workers int
 
-	cursor  atomic.Int64
-	ch      chan *Batch
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	closed  bool
-	selFree chan []int
-	last    *Batch // batch handed out by the previous Next call
+	cursor atomic.Int64
+	ch     chan *Batch
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+	// Free lists mirroring each other: recycled selection vectors for the
+	// workers and recycled Batch shells (struct + column-header slice) for
+	// the exchange. Batches carry zero-copy column windows, so the shells
+	// and sel vectors are the only per-batch state to pool.
+	selFree   chan []int
+	batchFree chan *Batch
+	last      *Batch // batch handed out by the previous Next call
 }
 
-// NewParallelScan returns a morsel-driven parallel filtering scan: workers
-// claim fixed-size morsels of the base table off a shared atomic cursor,
-// filter them in place, and feed the resulting batches through an exchange
-// channel to the single consumer calling Next. Each emitted batch owns its
-// selection vector until the consumer asks for the next batch, at which
-// point the vector returns to a free list for reuse by the workers.
-func NewParallelScan(rows [][]int64, filter ScanFilter, workers int) VecIterator {
+// NewParallelScan returns a morsel-driven parallel filtering scan over
+// column-major data: workers claim fixed-size morsels off a shared atomic
+// cursor, compute the selection vector with the columnar kernels, and feed
+// zero-copy column-window batches through an exchange channel to the single
+// consumer calling Next. Each emitted batch owns its shell and selection
+// vector until the consumer asks for the next batch, at which point both
+// return to free lists for reuse by the workers.
+func NewParallelScan(cols [][]int64, n int, filter ScanFilter, workers int) VecIterator {
 	if workers < 1 {
 		workers = 1
 	}
-	if max := (len(rows) + morselSize - 1) / morselSize; workers > max {
+	if max := (n + morselSize - 1) / morselSize; workers > max {
 		workers = max
 	}
-	return &parallelScanOp{rows: rows, filter: filter, workers: workers}
+	return &parallelScanOp{data: colData{cols: cols, n: n}, filter: filter, workers: workers}
 }
 
 func (s *parallelScanOp) Open() error {
@@ -58,9 +55,10 @@ func (s *parallelScanOp) Open() error {
 	s.closed = false
 	s.ch = make(chan *Batch, 2*s.workers)
 	s.quit = make(chan struct{})
-	// Sized so a put never blocks: one vector per in-flight batch (channel
+	// Sized so a put never blocks: one entry per in-flight batch (channel
 	// capacity) plus one per worker and the consumer's retained batch.
 	s.selFree = make(chan []int, 3*s.workers+1)
+	s.batchFree = make(chan *Batch, 3*s.workers+1)
 	s.last = nil
 	s.wg.Add(s.workers)
 	for w := 0; w < s.workers; w++ {
@@ -83,27 +81,44 @@ func (s *parallelScanOp) selBuf() []int {
 	}
 }
 
+// batchShell fetches a recycled Batch shell, or allocates one.
+func (s *parallelScanOp) batchShell() *Batch {
+	select {
+	case b := <-s.batchFree:
+		return b
+	default:
+		return &Batch{Cols: make([][]int64, 0, s.data.width())}
+	}
+}
+
 func (s *parallelScanOp) worker() {
 	defer s.wg.Done()
 	var sel []int
 	for {
 		lo := int(s.cursor.Add(1)-1) * morselSize
-		if lo >= len(s.rows) {
+		if lo >= s.data.n {
 			return
 		}
 		hi := lo + morselSize
-		if hi > len(s.rows) {
-			hi = len(s.rows)
+		if hi > s.data.n {
+			hi = s.data.n
 		}
-		chunk := s.rows[lo:hi]
-		b := &Batch{Rows: chunk}
+		b := s.batchShell()
+		b.Cols = s.data.window(b.Cols, lo, hi)
+		b.N = hi - lo
+		b.Sel = nil
 		if !s.filter.Empty() {
 			if sel == nil {
 				sel = s.selBuf()
 			}
-			sel = s.filter.Sel(chunk, sel)
+			sel = s.filter.SelCols(b.Cols, b.N, sel)
 			if len(sel) == 0 {
-				continue // keep sel for the next morsel
+				// Recycle the shell; keep sel for the next morsel.
+				select {
+				case s.batchFree <- b:
+				default:
+				}
+				continue
 			}
 			b.Sel = sel
 			sel = nil // ownership moves to the batch until recycled
@@ -117,11 +132,18 @@ func (s *parallelScanOp) worker() {
 }
 
 func (s *parallelScanOp) Next() (*Batch, error) {
-	if s.last != nil && s.last.Sel != nil {
+	if s.last != nil {
 		// The consumer is done with the previous batch; its selection
-		// vector goes back to the workers.
+		// vector and shell go back to the workers.
+		if s.last.Sel != nil {
+			select {
+			case s.selFree <- s.last.Sel:
+			default:
+			}
+			s.last.Sel = nil
+		}
 		select {
-		case s.selFree <- s.last.Sel:
+		case s.batchFree <- s.last:
 		default:
 		}
 	}
@@ -148,51 +170,46 @@ func (s *parallelScanOp) Close() error {
 	return nil
 }
 
-// drainRows materializes the filtered scan without the exchange channel:
-// workers claim morsels off a private cursor and append surviving row
-// references to per-worker buffers, concatenated once at the end. This is
+// drainCols materializes the filtered scan without the exchange channel:
+// workers claim morsels off a private cursor and append surviving rows
+// column-wise to per-worker buffers, concatenated once at the end. This is
 // the build-side path of the parallel pipeline — the whole drain runs at
 // worker parallelism with zero cross-worker coordination beyond the cursor.
-func (s *parallelScanOp) drainRows() ([][]int64, error) {
+func (s *parallelScanOp) drainCols() (colData, error) {
 	var cursor atomic.Int64
-	bufs := make([][][]int64, s.workers)
+	bufs := make([]colData, s.workers)
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var out [][]int64
+			out := colData{cols: make([][]int64, s.data.width())}
 			sel := make([]int, 0, morselSize)
+			var window [][]int64
 			for {
 				lo := int(cursor.Add(1)-1) * morselSize
-				if lo >= len(s.rows) {
+				if lo >= s.data.n {
 					break
 				}
 				hi := lo + morselSize
-				if hi > len(s.rows) {
-					hi = len(s.rows)
+				if hi > s.data.n {
+					hi = s.data.n
 				}
-				chunk := s.rows[lo:hi]
+				window = s.data.window(window, lo, hi)
 				if s.filter.Empty() {
-					out = append(out, chunk...)
+					out.appendSel(window, hi-lo, nil)
 					continue
 				}
-				sel = s.filter.Sel(chunk, sel)
-				for _, i := range sel {
-					out = append(out, chunk[i])
-				}
+				sel = s.filter.SelCols(window, hi-lo, sel)
+				out.appendSel(window, hi-lo, sel)
 			}
 			bufs[w] = out
 		}(w)
 	}
 	wg.Wait()
-	total := 0
+	var out colData
 	for _, b := range bufs {
-		total += len(b)
+		out.appendFrom(b)
 	}
-	rows := make([][]int64, 0, total)
-	for _, b := range bufs {
-		rows = append(rows, b...)
-	}
-	return rows, nil
+	return out, nil
 }

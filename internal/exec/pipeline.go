@@ -10,15 +10,17 @@ import (
 // fanning out only at the leaf scan and funneling every batch through an
 // exchange channel, a fused pipeline runs the whole
 // scan → probe → … → probe → (partial aggregate | collect) chain inside
-// each worker. Workers claim probe-side morsels off an atomic cursor, probe
-// the shared immutable join tables of every fused hash join, and sink the
-// surviving rows into worker-local state — a worker-local aggTable or a
-// worker-local output buffer — merged exactly once when all workers finish.
-// Nothing crosses between workers on the per-row path.
+// each worker. Workers claim probe-side morsels off an atomic cursor as
+// zero-copy column windows, push them through the probe cascade in columnar
+// chunks — per-batch hashing, pair collection against the shared immutable
+// join tables, residual filtering and one Gather per output column — and
+// sink the surviving chunks into worker-local state (an aggTable fed by
+// addBatch, or a worker-local column buffer), merged exactly once when all
+// workers finish. Nothing crosses between workers on the per-row path.
 
 // pipeStage is one fused hash-join probe: the compiled build-side subtree,
 // the key offsets of the build row and of the incoming probe row, the
-// residual filters first checkable at this join, and the cardinality
+// residual predicates first checkable at this join, and the cardinality
 // counter for the join's output. The joinTable is built at Open (with the
 // partitioned parallel build for large sides) and is read-only afterwards,
 // so all workers probe it without synchronization.
@@ -26,16 +28,16 @@ type pipeStage struct {
 	build     VecIterator
 	buildKeys []int
 	probeKeys []int
-	residual  []PredFn
+	residual  []ColPred
 	card      *int64
 
 	table *joinTable
 }
 
 type parallelPipelineOp struct {
-	// probe source: a morsel-addressable base table plus its scan filter
-	// and cardinality counter.
-	rows     [][]int64
+	// probe source: a morsel-addressable column-major base table plus its
+	// scan filter and cardinality counter.
+	data     colData
 	filter   ScanFilter
 	scanCard *int64
 
@@ -43,7 +45,7 @@ type parallelPipelineOp struct {
 	agg     *AggSpecExec // nil = collect mode (emit joined rows)
 	workers int
 
-	out   [][]int64
+	out   colData
 	pos   int
 	batch Batch
 }
@@ -52,9 +54,9 @@ type parallelPipelineOp struct {
 // table. With agg == nil the op emits the joined rows; setting agg (via
 // fuseAgg before Open) switches the terminal to worker-local partial
 // aggregation with a final merge.
-func newParallelPipeline(rows [][]int64, filter ScanFilter, scanCard *int64,
+func newParallelPipeline(data colData, filter ScanFilter, scanCard *int64,
 	stages []*pipeStage, workers int) *parallelPipelineOp {
-	if max := (len(rows) + morselSize - 1) / morselSize; workers > max {
+	if max := (data.n + morselSize - 1) / morselSize; workers > max {
 		workers = max
 	}
 	// At least one worker even for an empty probe table, so the merge
@@ -62,7 +64,7 @@ func newParallelPipeline(rows [][]int64, filter ScanFilter, scanCard *int64,
 	if workers < 1 {
 		workers = 1
 	}
-	return &parallelPipelineOp{rows: rows, filter: filter, scanCard: scanCard,
+	return &parallelPipelineOp{data: data, filter: filter, scanCard: scanCard,
 		stages: stages, workers: workers}
 }
 
@@ -70,28 +72,43 @@ func newParallelPipeline(rows [][]int64, filter ScanFilter, scanCard *int64,
 // aggregation. Must be called before Open.
 func (p *parallelPipelineOp) fuseAgg(spec AggSpecExec) { p.agg = &spec }
 
+// stageScratch is one probe depth's reusable worker-private buffers: the
+// probe-hash vector, the pending match pairs, and the stage's columnar
+// output chunk (flat-backed, capacity BatchSize per column). The output
+// chunk is consumed synchronously by the cascade below before the next
+// flush overwrites it.
+type stageScratch struct {
+	hashes         []uint64
+	pairsB, pairsP []int32
+	out            [][]int64
+}
+
 // pipeWorker is the per-worker private state: cardinality counters (index 0
-// is the scan, index i+1 is stage i's output), per-depth scratch rows for
-// the probe cascade, and the terminal sink (aggregate table or row buffer).
+// is the scan, index i+1 is stage i's output), per-depth stage scratch, and
+// the terminal sink (aggregate table or columnar collect buffer).
 type pipeWorker struct {
 	op      *parallelPipelineOp
 	counts  []int64
-	scratch [][]int64
+	stages  []stageScratch
 	agg     *aggTable
-	out     [][]int64
-	alloc   rowAlloc
+	aggScr  aggScratch
+	collect colData
 }
 
 func (p *parallelPipelineOp) Open() error {
 	// Build every stage's join table up front. Build sides drain through
-	// drainVecRows, which parallelizes across morsels where the subtree
+	// drainVecCols, which parallelizes across morsels where the subtree
 	// supports it; large tables use the partitioned parallel insert.
-	for _, st := range p.stages {
-		rows, err := drainVecRows(st.build)
+	width := p.data.width()
+	stageWidths := make([]int, len(p.stages)) // output width per stage
+	for i, st := range p.stages {
+		data, err := drainVecCols(st.build)
 		if err != nil {
 			return err
 		}
-		st.table = newJoinTable(rows, st.buildKeys, p.workers)
+		st.table = newJoinTable(data, st.buildKeys, p.workers)
+		width += data.width()
+		stageWidths[i] = width
 	}
 
 	var cursor atomic.Int64
@@ -99,12 +116,27 @@ func (p *parallelPipelineOp) Open() error {
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		pw := &pipeWorker{
-			op:      p,
-			counts:  make([]int64, len(p.stages)+1),
-			scratch: make([][]int64, len(p.stages)),
+			op:     p,
+			counts: make([]int64, len(p.stages)+1),
+			stages: make([]stageScratch, len(p.stages)),
+		}
+		for i := range pw.stages {
+			sw := stageWidths[i]
+			flat := make([]int64, sw*BatchSize)
+			cols := make([][]int64, sw)
+			for c := range cols {
+				cols[c] = flat[c*BatchSize : (c+1)*BatchSize : (c+1)*BatchSize]
+			}
+			pw.stages[i] = stageScratch{
+				pairsB: make([]int32, 0, BatchSize),
+				pairsP: make([]int32, 0, BatchSize),
+				out:    cols,
+			}
 		}
 		if p.agg != nil {
 			pw.agg = newAggTable(*p.agg)
+		} else {
+			pw.collect.cols = make([][]int64, width)
 		}
 		workers[w] = pw
 		wg.Add(1)
@@ -131,18 +163,15 @@ func (p *parallelPipelineOp) Open() error {
 			agg.mergeFrom(pw.agg)
 		}
 		rows := agg.rows()
-		p.out = make([][]int64, len(rows))
-		for i, r := range rows {
-			p.out[i] = r
+		var arity int
+		if len(rows) > 0 {
+			arity = len(rows[0])
 		}
+		p.out = transposeRows(rowsAsRaw(rows), arity)
 	} else {
-		total := 0
+		p.out = colData{}
 		for _, pw := range workers {
-			total += len(pw.out)
-		}
-		p.out = make([][]int64, 0, total)
-		for _, pw := range workers {
-			p.out = append(p.out, pw.out...)
+			p.out.appendFrom(pw.collect)
 		}
 	}
 	p.pos = 0
@@ -150,113 +179,141 @@ func (p *parallelPipelineOp) Open() error {
 }
 
 func (w *pipeWorker) run(cursor *atomic.Int64) {
-	rows := w.op.rows
+	data := w.op.data
 	filter := w.op.filter
 	var sel []int
 	if !filter.Empty() {
 		sel = make([]int, 0, morselSize)
 	}
+	var window [][]int64
 	for {
 		lo := int(cursor.Add(1)-1) * morselSize
-		if lo >= len(rows) {
+		if lo >= data.n {
 			return
 		}
 		hi := lo + morselSize
-		if hi > len(rows) {
-			hi = len(rows)
+		if hi > data.n {
+			hi = data.n
 		}
-		chunk := rows[lo:hi]
+		window = data.window(window, lo, hi)
+		n := hi - lo
 		if filter.Empty() {
-			w.counts[0] += int64(len(chunk))
-			for _, r := range chunk {
-				w.probe(0, r)
-			}
+			w.counts[0] += int64(n)
+			w.probeStage(0, window, n, nil)
 		} else {
-			sel = filter.Sel(chunk, sel)
+			sel = filter.SelCols(window, n, sel)
 			w.counts[0] += int64(len(sel))
-			for _, i := range sel {
-				w.probe(0, chunk[i])
+			if len(sel) > 0 {
+				w.probeStage(0, window, n, sel)
 			}
 		}
 	}
 }
 
-// probe advances row through the cascade from stage depth on, sinking
-// fully-joined rows into the worker-local terminal. Intermediate join rows
-// live in per-depth scratch buffers that are safely overwritten per match —
-// the cascade below consumes each row synchronously — so the only per-row
-// allocations are retained collect-mode outputs.
-func (w *pipeWorker) probe(depth int, row []int64) {
+// probeStage advances a columnar chunk through the cascade from stage depth
+// on, sinking fully-joined chunks into the worker-local terminal. Each
+// stage hashes the chunk's probe keys in one pass per key column, walks the
+// shared chains collecting (build, probe) pairs, and flushes BatchSize
+// pairs at a time through residual filtering and per-column Gather into the
+// depth's scratch chunk — which the cascade below consumes synchronously
+// before the next flush overwrites it.
+func (w *pipeWorker) probeStage(depth int, cols [][]int64, n int, sel []int) {
 	if depth == len(w.op.stages) {
 		if w.agg != nil {
-			w.agg.add(Row(row))
+			w.agg.addBatch(cols, n, sel, &w.aggScr)
 		} else {
-			w.out = append(w.out, row)
+			w.collect.appendSel(cols, n, sel)
 		}
 		return
 	}
 	st := w.op.stages[depth]
+	sc := &w.stages[depth]
+	sc.hashes = hashLive(sc.hashes, cols, st.probeKeys, n, sel)
 	t := st.table
-	h := hashCols(row, st.probeKeys)
-	retain := w.agg == nil && depth == len(w.op.stages)-1
-	for ci := t.head[h&t.mask]; ci != 0; {
-		i := ci - 1
-		ci = t.next[i]
-		if t.hashes[i] != h {
-			continue
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			w.walkChain(depth, st, t, cols, i, sc.hashes[i])
 		}
-		b := t.rows[i]
-		if !keysEqual(Row(b), st.buildKeys, Row(row), st.probeKeys) {
-			continue
+	} else {
+		for k, i := range sel {
+			w.walkChain(depth, st, t, cols, i, sc.hashes[k])
 		}
-		var o []int64
-		if retain {
-			o = w.alloc.row(len(b) + len(row))
-		} else {
-			o = w.scratch[depth][:0]
-		}
-		o = append(o, b...)
-		o = append(o, row...)
-		if !retain {
-			w.scratch[depth] = o
-		}
-		if !evalAll(st.residual, o) {
-			continue
-		}
-		w.counts[depth+1]++
-		w.probe(depth+1, o)
+	}
+	if len(sc.pairsB) > 0 {
+		w.flushStage(depth, cols)
 	}
 }
 
+func (w *pipeWorker) walkChain(depth int, st *pipeStage, t *joinTable, cols [][]int64, i int, h uint64) {
+	sc := &w.stages[depth]
+	for ci := t.head[h&t.mask]; ci != 0; {
+		bi := ci - 1
+		ci = t.next[bi]
+		if t.hashes[bi] != h {
+			continue
+		}
+		if !colKeysEqual(t.data.cols, st.buildKeys, int(bi), cols, st.probeKeys, i) {
+			continue
+		}
+		sc.pairsB = append(sc.pairsB, bi)
+		sc.pairsP = append(sc.pairsP, int32(i))
+		if len(sc.pairsB) == BatchSize {
+			w.flushStage(depth, cols)
+		}
+	}
+}
+
+// flushStage residual-filters the pending pairs of depth, stitches the
+// survivors into the stage's scratch chunk, and recurses.
+func (w *pipeWorker) flushStage(depth int, cols [][]int64) {
+	st := w.op.stages[depth]
+	sc := &w.stages[depth]
+	pb, pp := filterPairs(st.residual, &st.table.data, cols, sc.pairsB, sc.pairsP)
+	if m := len(pb); m > 0 {
+		w.counts[depth+1] += int64(m)
+		bw := st.table.data.width()
+		for c := 0; c < bw; c++ {
+			Gather(sc.out[c][:m], st.table.data.cols[c], pb)
+		}
+		for c := range cols {
+			Gather(sc.out[bw+c][:m], cols[c], pp)
+		}
+		w.probeStage(depth+1, sc.out, m, nil)
+	}
+	sc.pairsB, sc.pairsP = sc.pairsB[:0], sc.pairsP[:0]
+}
+
 func (p *parallelPipelineOp) Next() (*Batch, error) {
-	if p.pos >= len(p.out) {
+	if p.pos >= p.out.n {
 		return nil, nil
 	}
 	end := p.pos + BatchSize
-	if end > len(p.out) {
-		end = len(p.out)
+	if end > p.out.n {
+		end = p.out.n
 	}
-	p.batch = Batch{Rows: p.out[p.pos:end]}
+	p.batch.Cols = p.out.window(p.batch.Cols, p.pos, end)
+	p.batch.N = end - p.pos
+	p.batch.Sel = nil
 	p.pos = end
 	return &p.batch, nil
 }
 
 func (p *parallelPipelineOp) Close() error {
-	p.out = nil
+	p.out = colData{}
 	for _, st := range p.stages {
 		st.table = nil
 	}
 	return nil
 }
 
-// drainRows gives materializing consumers (e.g. an outer join draining a
+// drainCols gives materializing consumers (e.g. an outer join draining a
 // fused build-side pipeline) the already-collected output directly instead
 // of re-copying it batch-by-batch.
-func (p *parallelPipelineOp) drainRows() ([][]int64, error) {
+func (p *parallelPipelineOp) drainCols() (colData, error) {
 	if err := p.Open(); err != nil {
-		return nil, errors.Join(err, p.Close())
+		return colData{}, errors.Join(err, p.Close())
 	}
-	rows := p.out
-	p.out = nil // ownership moves to the caller before Close drops it
-	return rows, p.Close()
+	out := p.out
+	p.out = colData{} // ownership moves to the caller before Close drops it
+	return out, p.Close()
 }

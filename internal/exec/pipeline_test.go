@@ -34,6 +34,9 @@ func compileFor(t *testing.T, q *relalg.Query, par int) (VecIterator, *RunStats)
 // workload shapes the pipeline was built for: join chains with and without
 // aggregation, a multi-stage cascade, and the bare scan+agg plan.
 func TestCompilePipelineFuses(t *testing.T) {
+	if !columnarDefault {
+		t.Skip("REPRO_COLUMNAR=0 routes compilation through the row engine; no pipelines fuse")
+	}
 	cases := []struct {
 		q      *relalg.Query
 		stages int
@@ -81,16 +84,18 @@ func TestPipelineCascadeMatchesSerial(t *testing.T) {
 		buildB[i] = []int64{int64(rng.Intn(100)), int64(1000 + i)}
 	}
 	filter := ScanFilter{Conds: []ScanCond{{Off: 1, Op: relalg.CmpLT, Val: 90}}}
-	residual := []PredFn{func(r Row) bool { return r[1]%3 != 0 }}
+	// Structured residual over the final joined row
+	// [b0, b1, a0, a1, p0, p1, p2]: b1 < p2, true for some pairs only.
+	residual := []ColPred{{L: 1, R: 6, Op: relalg.CmpLT}}
 
 	// Serial reference: joinB(joinA(filtered probe)). Stage A joins
 	// buildA on probe col 0, stage B joins buildB on probe col 1 (offset
 	// shifts by len(buildA row) = 2 after stage A).
 	serial := NewVecHashJoin(
-		NewVecScan(buildB, ScanFilter{}),
+		NewVecScanRows(buildB, ScanFilter{}),
 		NewVecHashJoin(
-			NewVecScan(buildA, ScanFilter{}),
-			NewVecScan(probe, filter),
+			NewVecScanRows(buildA, ScanFilter{}),
+			NewVecScanRows(probe, filter),
 			[]int{0}, []int{0}, nil, 1),
 		[]int{0}, []int{3}, residual, 1)
 	want, err := DrainVec(serial)
@@ -100,12 +105,12 @@ func TestPipelineCascadeMatchesSerial(t *testing.T) {
 
 	var scanN, aN, bN int64
 	stages := []*pipeStage{
-		{build: NewVecScan(buildA, ScanFilter{}), buildKeys: []int{0},
+		{build: NewVecScanRows(buildA, ScanFilter{}), buildKeys: []int{0},
 			probeKeys: []int{0}, card: &aN},
-		{build: NewVecScan(buildB, ScanFilter{}), buildKeys: []int{0},
+		{build: NewVecScanRows(buildB, ScanFilter{}), buildKeys: []int{0},
 			probeKeys: []int{3}, residual: residual, card: &bN},
 	}
-	pipe := newParallelPipeline(probe, filter, &scanN, stages, 4)
+	pipe := newParallelPipeline(transposeRows(probe, 3), filter, &scanN, stages, 4)
 	got, err := DrainVec(pipe)
 	if err != nil {
 		t.Fatal(err)
@@ -116,15 +121,15 @@ func TestPipelineCascadeMatchesSerial(t *testing.T) {
 	if bN != int64(len(want)) {
 		t.Errorf("final stage counter = %d, want %d", bN, len(want))
 	}
-	wantScan, err := CountVec(NewVecScan(probe, filter))
+	wantScan, err := CountVec(NewVecScanRows(probe, filter))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if scanN != wantScan {
 		t.Errorf("scan counter = %d, want %d", scanN, wantScan)
 	}
-	wantA, err := CountVec(NewVecHashJoin(NewVecScan(buildA, ScanFilter{}),
-		NewVecScan(probe, filter), []int{0}, []int{0}, nil, 1))
+	wantA, err := CountVec(NewVecHashJoin(NewVecScanRows(buildA, ScanFilter{}),
+		NewVecScanRows(probe, filter), []int{0}, []int{0}, nil, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,17 +153,17 @@ func TestPipelineAggMatchesSerial(t *testing.T) {
 	spec := AggSpecExec{GroupBy: []int{1}, Sums: []int{3}, CountAll: true,
 		CountDistinct: []int{0}}
 
-	serial := NewVecHashAgg(NewVecHashJoin(NewVecScan(build, ScanFilter{}),
-		NewVecScan(probe, ScanFilter{}), []int{0}, []int{0}, nil, 1), spec)
+	serial := NewVecHashAgg(NewVecHashJoin(NewVecScanRows(build, ScanFilter{}),
+		NewVecScanRows(probe, ScanFilter{}), []int{0}, []int{0}, nil, 1), spec)
 	want, err := DrainVec(serial)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var scanN, joinN int64
-	stages := []*pipeStage{{build: NewVecScan(build, ScanFilter{}),
+	stages := []*pipeStage{{build: NewVecScanRows(build, ScanFilter{}),
 		buildKeys: []int{0}, probeKeys: []int{0}, card: &joinN}}
-	pipe := newParallelPipeline(probe, ScanFilter{}, &scanN, stages, 4)
+	pipe := newParallelPipeline(transposeRows(probe, 2), ScanFilter{}, &scanN, stages, 4)
 	pipe.fuseAgg(spec)
 	got, err := DrainVec(pipe)
 	if err != nil {
@@ -241,9 +246,10 @@ func TestBuildJoinTableParallelMatchesSerial(t *testing.T) {
 		rows[i] = []int64{int64(rng.Intn(5000)), int64(rng.Intn(64)), int64(i)}
 	}
 	keys := []int{0, 1}
-	serial := buildJoinTable(rows, keys)
+	data := transposeRows(rows, 3)
+	serial := buildJoinTable(data, keys)
 	for _, workers := range []int{2, 4, 7} {
-		par := buildJoinTableParallel(rows, keys, workers)
+		par := buildJoinTableParallel(data, keys, workers)
 		if par.mask != serial.mask {
 			t.Fatalf("workers=%d: mask %d != serial %d", workers, par.mask, serial.mask)
 		}

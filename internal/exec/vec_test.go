@@ -23,7 +23,7 @@ func TestVecScanBatchesAndSelection(t *testing.T) {
 	for i := range data {
 		data[i] = []int64{int64(i), int64(i % 2)}
 	}
-	v := NewVecScan(data, ScanFilter{Preds: []PredFn{func(r Row) bool { return r[1] == 0 }}})
+	v := NewVecScanRows(data, ScanFilter{Preds: []PredFn{func(r Row) bool { return r[1] == 0 }}})
 	if err := v.Open(); err != nil {
 		t.Fatal(err)
 	}
@@ -37,12 +37,16 @@ func TestVecScanBatchesAndSelection(t *testing.T) {
 			break
 		}
 		batches++
-		if len(b.Rows) > BatchSize {
-			t.Fatalf("batch of %d rows exceeds capacity %d", len(b.Rows), BatchSize)
+		if b.N > BatchSize {
+			t.Fatalf("batch of %d rows exceeds capacity %d", b.N, BatchSize)
 		}
-		for i := 0; i < b.Len(); i++ {
-			if b.Row(i)[1] != 0 {
-				t.Fatalf("selection vector leaked filtered row %v", b.Row(i))
+		for k := 0; k < b.Len(); k++ {
+			idx := k
+			if b.Sel != nil {
+				idx = b.Sel[k]
+			}
+			if b.Cols[1][idx] != 0 {
+				t.Fatalf("selection vector leaked filtered row %d", b.Cols[0][idx])
 			}
 		}
 		total += b.Len()
@@ -65,12 +69,13 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 		data[i] = []int64{int64(i), int64(i % 7)}
 	}
 	filter := ScanFilter{Conds: []ScanCond{{Off: 1, Op: relalg.CmpLT, Val: 3}}}
-	serial, err := DrainVec(NewVecScan(data, filter))
+	serial, err := DrainVec(NewVecScanRows(data, filter))
 	if err != nil {
 		t.Fatal(err)
 	}
+	cols := transposeRows(data, 2)
 	for _, workers := range []int{2, 4, 13} {
-		par, err := DrainVec(NewParallelScan(data, filter, workers))
+		par, err := DrainVec(NewParallelScan(cols.cols, cols.n, filter, workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +90,8 @@ func TestParallelScanEarlyClose(t *testing.T) {
 	for i := range data {
 		data[i] = []int64{int64(i)}
 	}
-	v := NewParallelScan(data, ScanFilter{}, 4)
+	cols := transposeRows(data, 1)
+	v := NewParallelScan(cols.cols, cols.n, ScanFilter{}, 4)
 	if err := v.Open(); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +116,7 @@ func TestVecHashJoinSpansBatches(t *testing.T) {
 		build[i] = []int64{1, int64(i)}
 		probe[i] = []int64{1, int64(100 + i)}
 	}
-	v := NewVecHashJoin(NewVecScan(build, ScanFilter{}), NewVecScan(probe, ScanFilter{}), []int{0}, []int{0}, nil, 1)
+	v := NewVecHashJoin(NewVecScanRows(build, ScanFilter{}), NewVecScanRows(probe, ScanFilter{}), []int{0}, []int{0}, nil, 1)
 	out, err := DrainVec(v)
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +133,7 @@ func TestVecHashJoinSpansBatches(t *testing.T) {
 
 func TestVecRowShimRoundTrip(t *testing.T) {
 	data := rows([]int64{3, 0}, []int64{1, 1}, []int64{2, 2})
-	it := NewRowIterator(NewVecSort(NewVecScan(data, ScanFilter{}), 0))
+	it := NewRowIterator(NewVecSort(NewVecScanRows(data, ScanFilter{}), 0))
 	out, err := Drain(it)
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +144,7 @@ func TestVecRowShimRoundTrip(t *testing.T) {
 }
 
 func TestVecProject(t *testing.T) {
-	out, err := DrainVec(NewVecProject(NewVecScan(rows([]int64{1, 2, 3}), ScanFilter{}), []int{2, 0}))
+	out, err := DrainVec(NewVecProject(NewVecScanRows(rows([]int64{1, 2, 3}), ScanFilter{}), []int{2, 0}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,9 +185,10 @@ func TestVecHashJoinOpenErrorReleasesProbe(t *testing.T) {
 	}
 	unsorted := rows([]int64{2}, []int64{1})
 	sorted := rows([]int64{1})
-	build := NewVecMergeJoin(NewVecScan(unsorted, ScanFilter{}), NewVecScan(sorted, ScanFilter{}), 0, 0, nil)
+	build := NewVecMergeJoin(NewVecScanRows(unsorted, ScanFilter{}), NewVecScanRows(sorted, ScanFilter{}), 0, 0, nil)
 	before := runtime.NumGoroutine()
-	j := NewVecHashJoin(build, NewParallelScan(probeData, ScanFilter{}, 4), []int{0}, []int{0}, nil, 1)
+	probeCols := transposeRows(probeData, 1)
+	j := NewVecHashJoin(build, NewParallelScan(probeCols.cols, probeCols.n, ScanFilter{}, 4), []int{0}, []int{0}, nil, 1)
 	if err := j.Open(); err == nil {
 		t.Fatal("unsorted build input accepted")
 	}
