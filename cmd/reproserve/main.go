@@ -34,6 +34,16 @@
 // The final metrics flush includes the stats-plane ageing counters (clock,
 // decays, stale, reclaimed), so drift behavior is observable in production.
 //
+// -result-cache-mb N gives the semantic result cache an N MiB byte budget
+// (0 disables it, the default). With the cache on, sessions share the
+// materialized outputs of hot cacheable subexpressions across statements:
+// a probe that matches a fingerprint-identical cached subtree serves it as
+// zero-copy column windows instead of re-executing it, and a miss spools
+// the subtree's output into the cache as a side effect of execution.
+// Entries are invalidated by base-table data versions, so mutations are
+// never served stale. The shutdown metrics flush reports the cache's
+// hit/miss/store/eviction/invalidation counters when enabled.
+//
 // Protocol (one command per line; see internal/server/proto.go):
 //
 //	query q5 Q5          bind the named TPC-H Q5 as statement "q5"
@@ -73,6 +83,7 @@ func main() {
 	statsFile := flag.String("stats-file", "", "statistics-plane snapshot path: loaded on boot when present, saved (atomic rotation) on graceful shutdown")
 	halfLife := flag.Float64("stats-half-life", 0, "observation-decay half-life of the statistics plane, in logical observations; 0 keeps full history")
 	staleAfter := flag.Uint64("stats-stale-after", 0, "observations after which an unseen fingerprint stops warm-starting (reclaimed at twice this age); 0 keeps everything")
+	resultCacheMB := flag.Int64("result-cache-mb", 0, "semantic result cache byte budget in MiB, shared by all sessions (LRU eviction, data-version invalidation); 0 disables result caching")
 	flag.Parse()
 
 	stats := repro.NewStatsStoreWith(repro.StatsStoreOptions{
@@ -101,6 +112,8 @@ func main() {
 		Dict:          tpch.Dict(),
 		Date:          tpch.Date,
 		Named:         tpch.Queries(),
+
+		ResultCacheBytes: *resultCacheMB << 20,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -43,6 +43,14 @@ type Table struct {
 	// columns share one contiguous backing array.
 	colData [][]int64
 	colRows int
+
+	// dataVersion counts data mutations: every Append and every Analyze
+	// (Rows may have been replaced wholesale before an Analyze) bumps it.
+	// Derived state materialized from the table's rows — cached query
+	// results above all — pins the version it read and treats any later
+	// value as an invalidation signal. A spurious bump (an Analyze that
+	// changed nothing) costs a rematerialization, never a wrong result.
+	dataVersion uint64
 }
 
 // NewTable creates an empty table with the given schema. SortedBy defaults
@@ -106,7 +114,14 @@ func (t *Table) Append(row []int64) {
 	}
 	t.Rows = append(t.Rows, row)
 	t.colData = nil // column mirror is stale until the next Analyze/Columns
+	t.dataVersion++
 }
+
+// DataVersion returns the table's data version: a counter bumped by every
+// mutation of the stored rows (Append, wholesale replacement via Analyze).
+// Consumers of materialized derived state compare the version they captured
+// at materialization time against the current one to detect staleness.
+func (t *Table) DataVersion() uint64 { return t.dataVersion }
 
 // Columns returns the column-major mirror of Rows: Columns()[c][i] ==
 // Rows[i][c], with every column a window of one contiguous allocation. The
@@ -145,6 +160,7 @@ func (t *Table) Analyze(buckets int) {
 	t.NumRows = float64(len(t.Rows))
 	t.Cols = make([]ColStats, len(t.ColNames))
 	t.colData = nil // Rows may have been replaced wholesale; rebuild
+	t.dataVersion++
 	if len(t.Rows) == 0 {
 		for i := range t.Cols {
 			t.Cols[i] = ColStats{Distinct: 1}

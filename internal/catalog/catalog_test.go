@@ -107,3 +107,30 @@ func TestAnalyzeAll(t *testing.T) {
 		t.Fatalf("AnalyzeAll did not run: %v", tb.NumRows)
 	}
 }
+
+func TestDataVersion(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if tb.DataVersion() != 0 {
+		t.Fatalf("fresh table at version %d", tb.DataVersion())
+	}
+	tb.Append([]int64{1, 2})
+	v1 := tb.DataVersion()
+	if v1 == 0 {
+		t.Fatal("Append did not bump the data version")
+	}
+	tb.Analyze(4)
+	v2 := tb.DataVersion()
+	if v2 <= v1 {
+		t.Fatal("Analyze did not bump the data version")
+	}
+	// Reads leave the version alone.
+	tb.Columns()
+	_, _ = tb.ColIndex("a")
+	if tb.DataVersion() != v2 {
+		t.Fatal("read-only access bumped the data version")
+	}
+	tb.Append([]int64{3, 4})
+	if tb.DataVersion() <= v2 {
+		t.Fatal("second Append did not bump the data version")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/relalg"
+	"repro/internal/rescache"
 )
 
 // RunStats accumulates actual output cardinalities per subexpression during
@@ -72,6 +73,17 @@ type Compiler struct {
 	// environment variable ("0"/"false" disables) flips the same switch
 	// process-wide. RunStats feedback is identical either way.
 	DisableColumnar bool
+	// Cache, when enabled, is the server-wide semantic result cache, and
+	// CacheCands the plan's cacheable subtrees (BuildCacheCandidates on
+	// THIS plan tree — candidates match by node identity). CompileVec
+	// resolves them into probe hits (subtree replaced by a cached scan) or
+	// spools (subtree teed into the cache); see rescache.go. Columnar-only:
+	// the row engine and Data-overridden compilations ignore both.
+	Cache      *rescache.Cache
+	CacheCands []CacheCandidate
+	// decisions maps plan nodes to their resolved cache decision for the
+	// current CompileVec call.
+	decisions map[*relalg.Plan]*cacheDecision
 }
 
 // columnarDefault is the process-wide layout switch read from
@@ -154,6 +166,7 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 		return &rowVecAdapter{in: it}, stats, nil
 	}
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
+	c.resolveCache()
 	// Full-pipeline fusion at the root: when the query aggregates, the
 	// fused pipeline's terminal becomes worker-local partial aggregation
 	// (even for a bare scan plan, the Q1/Q6 shape), so no exchange or
@@ -426,6 +439,9 @@ func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iter
 // compileVec mirrors compile over the vectorized operator set and returns
 // the operator and its output schema.
 func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []relalg.ColID, error) {
+	if d := c.takeDecision(p); d != nil {
+		return c.applyCacheDecision(d, p, stats)
+	}
 	switch p.Log {
 	case relalg.LogScan:
 		data, err := c.cols(p.Rel)
@@ -580,6 +596,12 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 // operators.
 func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages int) (*parallelPipelineOp, []relalg.ColID, bool, error) {
 	if c.Parallelism <= 1 {
+		return nil, nil, false, nil
+	}
+	if c.decisionWithin(p) {
+		// A probe or spool targets a node inside this subtree; fusing it
+		// into one operator would silently skip the cache. Fall back to
+		// the plain operator tree, where compileVec honors the decision.
 		return nil, nil, false, nil
 	}
 	var spine []*relalg.Plan

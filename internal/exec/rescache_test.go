@@ -1,0 +1,209 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relalg"
+	"repro/internal/rescache"
+	"repro/internal/tpch"
+	"repro/internal/volcano"
+)
+
+// statsEqual asserts two RunStats snapshots are byte-identical: same
+// subexpression sets, same counts. This is the §5.4 soundness bar — the
+// adaptive feedback loop must be provably unaffected by result caching.
+func statsEqual(t *testing.T, name string, got, want map[relalg.RelSet]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: stats cover %d exprs, want %d", name, len(got), len(want))
+	}
+	for set, n := range want {
+		if g, ok := got[set]; !ok || g != n {
+			t.Fatalf("%s: cardinality of %v = %d (present=%v), want %d", name, set, g, ok, n)
+		}
+	}
+}
+
+// TestResultCacheSpoolProbeDifferential is the core spool/probe soundness
+// gate, run over every workload query: a first cache-enabled execution
+// (spooling) and a second (probing) must both reproduce the uncached result
+// multiset AND the uncached RunStats byte for byte, at serial and parallel
+// compilation. The probe run must actually hit — a silently cold cache would
+// pass the differential while testing nothing.
+func TestResultCacheSpoolProbeDifferential(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
+	for name, q := range tpch.Queries() {
+		m, err := cost.NewModel(q, cat, cost.DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fper := relalg.NewFingerprinter(q)
+		cands := BuildCacheCandidates(q, vr.Plan, fper, 0)
+
+		base := &Compiler{Q: q, Cat: cat}
+		v, baseStats, err := base.CompileVec(vr.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		baseRows, err := DrainVec(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := rowMultiset(baseRows)
+		wantStats := baseStats.Snapshot()
+
+		for _, par := range []int{1, 2} {
+			cache := rescache.New(rescache.Options{MaxBytes: 64 << 20})
+			for run, label := range []string{"spool", "probe"} {
+				comp := &Compiler{Q: q, Cat: cat, Parallelism: par,
+					Cache: cache, CacheCands: cands}
+				v, stats, err := comp.CompileVec(vr.Plan)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: %v", name, label, par, err)
+				}
+				rows, err := DrainVec(v)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: %v", name, label, par, err)
+				}
+				if got := rowMultiset(rows); got != want {
+					t.Fatalf("%s/%s par=%d: result multiset differs from uncached (%d vs %d rows)",
+						name, label, par, len(rows), len(baseRows))
+				}
+				statsEqual(t, name+"/"+label, stats.Snapshot(), wantStats)
+				met := cache.Metrics()
+				if run == 0 && len(cands) > 0 && met.Stores == 0 {
+					t.Fatalf("%s: spool run stored nothing despite %d candidates", name, len(cands))
+				}
+				if run == 1 && met.Stores > 0 && met.Hits == 0 {
+					t.Fatalf("%s par=%d: probe run hit nothing despite %d stored entries",
+						name, par, met.Entries)
+				}
+			}
+		}
+	}
+}
+
+// TestResultCacheCandidateShape pins the candidacy rules on a concrete
+// plan: candidates come out in pre-order, refuse order-promising nodes, and
+// record a count point for every counted node of their subtree.
+func TestResultCacheCandidateShape(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
+	q := tpch.Q3S()
+	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fper := relalg.NewFingerprinter(q)
+	cands := BuildCacheCandidates(q, vr.Plan, fper, 0)
+	if len(cands) == 0 {
+		t.Fatal("no candidates on a 3-way join plan")
+	}
+	seen := map[string]bool{}
+	for _, cand := range cands {
+		if cand.Node.Prop.Kind != relalg.PropAny {
+			t.Fatalf("candidate %v promises a physical property", cand.Expr)
+		}
+		if fper.AmbiguousOrder(cand.Expr) {
+			t.Fatalf("candidate %v has ambiguous canonical order", cand.Expr)
+		}
+		if len(cand.CanonOrder) != cand.Expr.Count() {
+			t.Fatalf("candidate %v: %d canonical members, want %d",
+				cand.Expr, len(cand.CanonOrder), cand.Expr.Count())
+		}
+		if len(cand.Counts) == 0 || cand.Counts[0].Set != cand.Expr {
+			t.Fatalf("candidate %v: count points must start with the root, got %+v",
+				cand.Expr, cand.Counts)
+		}
+		if seen[cand.FP] {
+			t.Fatalf("duplicate candidate fingerprint %q", cand.FP)
+		}
+		seen[cand.FP] = true
+	}
+	// Pre-order: a candidate containing another must come first.
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[i].Expr.IsSubset(cands[j].Expr) && cands[i].Expr != cands[j].Expr {
+				t.Fatalf("candidate %v precedes its superset %v", cands[i].Expr, cands[j].Expr)
+			}
+		}
+	}
+}
+
+// TestResultCacheVersionPinning: a probe against entries pinned to an older
+// data version must miss (and invalidate), and the following spool must
+// repin the new version — end to end through the compiler.
+func TestResultCacheVersionPinning(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 7})
+	q := tpch.Q3S()
+	m, err := cost.NewModel(q, cat, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := volcano.Optimize(m, relalg.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fper := relalg.NewFingerprinter(q)
+	cands := BuildCacheCandidates(q, vr.Plan, fper, 0)
+	cache := rescache.New(rescache.Options{MaxBytes: 64 << 20})
+
+	run := func() string {
+		comp := &Compiler{Q: q, Cat: cat, Cache: cache, CacheCands: cands}
+		v, _, err := comp.CompileVec(vr.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := DrainVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rowMultiset(rows)
+	}
+	before := run()
+	warm := cache.Metrics()
+	if warm.Stores == 0 {
+		t.Fatal("spool run stored nothing")
+	}
+	if run() != before {
+		t.Fatal("warm probe changed the result")
+	}
+	if h := cache.Metrics().Hits; h == 0 {
+		t.Fatal("second run did not probe-hit")
+	}
+
+	// Mutate the customer table: every cached entry over it must bypass.
+	cust := cat.MustTable("customer")
+	cust.Append(append([]int64(nil), cust.Rows[0]...))
+	cust.Rows = cust.Rows[:len(cust.Rows)-1]
+	cust.Analyze(0)
+
+	hitsBefore := cache.Metrics().Hits
+	after := run()
+	met := cache.Metrics()
+	if met.Invalidations == 0 {
+		t.Fatal("no invalidation after Append+Analyze bumped the data version")
+	}
+	if after != before {
+		t.Fatal("post-invalidation run (same logical data) changed the result")
+	}
+	// Entries not over customer (e.g. the orders filter scan) may still hit;
+	// the join cores over customer must not have.
+	_ = hitsBefore
+	// And the re-spooled entries must now serve again.
+	hitsMid := cache.Metrics().Hits
+	if run() != before {
+		t.Fatal("re-warmed probe changed the result")
+	}
+	if cache.Metrics().Hits == hitsMid {
+		t.Fatal("re-spooled entries never served")
+	}
+}

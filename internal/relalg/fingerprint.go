@@ -51,17 +51,43 @@ func NewFingerprinter(q *Query) *Fingerprinter {
 	return f
 }
 
+// CanonicalMembers returns the member relations of s in the canonical order
+// Fingerprint renders them: by per-relation descriptor, ties by the minting
+// query's relation order. Because two fingerprint-equal subexpressions agree
+// descriptor-by-descriptor along this order, it is also the column order a
+// materialized result of s can be shared in across queries — provided the
+// order is not ambiguous (see AmbiguousOrder).
+func (f *Fingerprinter) CanonicalMembers(s RelSet) []int {
+	members := s.Members()
+	sort.SliceStable(members, func(i, j int) bool {
+		return f.desc[members[i]] < f.desc[members[j]]
+	})
+	return members
+}
+
+// AmbiguousOrder reports whether two members of s share a descriptor (a
+// self-join under identical local predicates). The canonical member order
+// then falls back to the minting query's relation order, so equal
+// fingerprints still mean isomorphic subexpressions but no longer pin WHICH
+// member maps to which — statistics sharing stays sound (cardinalities are
+// permutation-invariant), result sharing is not (columns are not). Result
+// caching refuses ambiguous sets.
+func (f *Fingerprinter) AmbiguousOrder(s RelSet) bool {
+	members := f.CanonicalMembers(s)
+	for i := 1; i < len(members); i++ {
+		if f.desc[members[i-1]] == f.desc[members[i]] {
+			return true
+		}
+	}
+	return false
+}
+
 // Fingerprint renders the canonical fingerprint of subexpression s.
 func (f *Fingerprinter) Fingerprint(s RelSet) string {
 	if fp, ok := f.cache[s]; ok {
 		return fp
 	}
-	members := s.Members()
-	// Canonical member order: by descriptor, ties by the minting query's
-	// relation order (see the file comment on self-joins).
-	sort.SliceStable(members, func(i, j int) bool {
-		return f.desc[members[i]] < f.desc[members[j]]
-	})
+	members := f.CanonicalMembers(s)
 	pos := map[int]int{}
 	for p, rel := range members {
 		pos[rel] = p

@@ -104,3 +104,82 @@ func TestFingerprintSelfJoin(t *testing.T) {
 		t.Fatal("fingerprint not deterministic")
 	}
 }
+
+// TestCanonicalMembersOrder: the canonical member order sorts by descriptor
+// (so it is query-independent for descriptor-distinct sets) and is exactly
+// the order Fingerprint renders — the column-order contract the result cache
+// builds on.
+func TestCanonicalMembersOrder(t *testing.T) {
+	q := fpQuery(
+		[]RelRef{{Alias: "o", Table: "orders"}, {Alias: "c", Table: "customer"}, {Alias: "l", Table: "lineitem"}},
+		[]ScanPred{{Col: ColID{Rel: 1, Off: 2}, Op: CmpEQ, Val: 7}},
+		[]JoinPred{
+			{L: ColID{Rel: 0, Off: 1}, R: ColID{Rel: 1, Off: 0}},
+			{L: ColID{Rel: 0, Off: 3}, R: ColID{Rel: 2, Off: 0}},
+		},
+		nil,
+	)
+	f := NewFingerprinter(q)
+	all := q.AllRels()
+	members := f.CanonicalMembers(all)
+	if len(members) != 3 {
+		t.Fatalf("3-way set has %d canonical members", len(members))
+	}
+	for i := 1; i < len(members); i++ {
+		if f.desc[members[i-1]] > f.desc[members[i]] {
+			t.Fatalf("canonical members out of descriptor order: %v", members)
+		}
+	}
+	if f.AmbiguousOrder(all) {
+		t.Fatal("descriptor-distinct set reported ambiguous")
+	}
+	// A structurally equal query with relations reordered maps position by
+	// position onto the same descriptor sequence.
+	q2 := fpQuery(
+		[]RelRef{{Alias: "l", Table: "lineitem"}, {Alias: "o", Table: "orders"}, {Alias: "c", Table: "customer"}},
+		[]ScanPred{{Col: ColID{Rel: 2, Off: 2}, Op: CmpEQ, Val: 7}},
+		[]JoinPred{
+			{L: ColID{Rel: 1, Off: 1}, R: ColID{Rel: 2, Off: 0}},
+			{L: ColID{Rel: 1, Off: 3}, R: ColID{Rel: 0, Off: 0}},
+		},
+		nil,
+	)
+	f2 := NewFingerprinter(q2)
+	members2 := f2.CanonicalMembers(q2.AllRels())
+	for i := range members {
+		if f.desc[members[i]] != f2.desc[members2[i]] {
+			t.Fatalf("canonical descriptor sequence differs at %d: %q vs %q",
+				i, f.desc[members[i]], f2.desc[members2[i]])
+		}
+	}
+}
+
+// TestAmbiguousOrderSelfJoin: two members with identical descriptors make
+// the order ambiguous — result caching must refuse such sets while sets
+// distinguished by local predicates stay unambiguous.
+func TestAmbiguousOrderSelfJoin(t *testing.T) {
+	q := fpQuery(
+		[]RelRef{{Alias: "r1", Table: "t"}, {Alias: "r2", Table: "t"}, {Alias: "s", Table: "u"}},
+		[]ScanPred{{Col: ColID{Rel: 1, Off: 0}, Op: CmpGT, Val: 5}},
+		[]JoinPred{
+			{L: ColID{Rel: 0, Off: 1}, R: ColID{Rel: 2, Off: 0}},
+			{L: ColID{Rel: 1, Off: 1}, R: ColID{Rel: 2, Off: 0}},
+			{L: ColID{Rel: 0, Off: 2}, R: ColID{Rel: 1, Off: 2}},
+		},
+		nil,
+	)
+	f := NewFingerprinter(q)
+	// r1 and r2 differ by r2's scan predicate: unambiguous everywhere.
+	if f.AmbiguousOrder(q.AllRels()) || f.AmbiguousOrder(Single(0).Add(1)) {
+		t.Fatal("predicate-distinguished self-join reported ambiguous")
+	}
+	// Without the scan predicate the two t references collide.
+	q2 := fpQuery(q.Rels, nil, q.Joins, nil)
+	f2 := NewFingerprinter(q2)
+	if !f2.AmbiguousOrder(q2.AllRels()) || !f2.AmbiguousOrder(Single(0).Add(1)) {
+		t.Fatal("identical self-join references reported unambiguous")
+	}
+	if f2.AmbiguousOrder(Single(0).Add(2)) {
+		t.Fatal("set with one t reference reported ambiguous")
+	}
+}

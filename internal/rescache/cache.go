@@ -1,0 +1,327 @@
+// Package rescache is the server-wide semantic result cache: materialized
+// columnar outputs of hot cacheable subplans, keyed by canonical
+// subexpression fingerprint (relalg.Fingerprinter). Where the statistics
+// plane (internal/fbstore) shares what the workload has LEARNED about a
+// subexpression, this cache shares what an execution has already COMPUTED
+// for it: two structurally different queries whose plans contain
+// fingerprint-equal subtrees — the same filtered dimension scan, the same
+// join core — execute the shared region once and serve it from memory
+// thereafter, across statements and across sessions.
+//
+// The cache is deliberately dumb about plans: it stores opaque column
+// vectors plus the bookkeeping needed to serve them soundly, and leaves all
+// plan surgery (candidate selection, probe/spool decisions, column
+// permutations, cardinality replay) to internal/exec. Three mechanisms keep
+// a stored result trustworthy and the store bounded:
+//
+//   - Invalidation: every entry pins the data version (catalog.Table's
+//     mutation counter) of each base table it was materialized from. A
+//     probe revalidates the pinned versions against the live catalog; any
+//     mismatch deletes the entry and reports a miss — appended rows can
+//     never be served stale.
+//   - Byte budget: entries are sized in bytes and admitted against
+//     Options.MaxBytes with least-recently-probed eviction; an entry larger
+//     than the whole budget is rejected outright.
+//   - Ageing: like the statistics plane, the cache runs a LOGICAL clock —
+//     one tick per probe — and Options.StaleAfter is the horizon beyond
+//     which an unprobed entry stops serving (a cold recompute beats a
+//     possibly-drifted materialization paired with drifting statistics);
+//     entries older than twice the horizon are reclaimed by an amortized
+//     sweep, so a retired workload's results do not squat in the budget.
+//
+// Concurrency: one mutex guards the map, the LRU list and the counters.
+// Critical sections are O(1) outside eviction/sweep; the expensive parts —
+// executing, materializing, permuting — all happen outside the cache.
+// Entries are immutable after Store, so a reader holding a returned *Entry
+// across an eviction or invalidation keeps a consistent (merely orphaned)
+// result alive until it drops the pointer.
+package rescache
+
+import "sync"
+
+// TableVersion pins one base table's data version at materialization time.
+type TableVersion struct {
+	Table   string
+	Version uint64
+}
+
+// Entry is one materialized subexpression result. All fields are set by the
+// producer before Store and immutable afterwards.
+type Entry struct {
+	// Cols is the column-major result in CANONICAL column order: the member
+	// relations of the subexpression in relalg.Fingerprinter.CanonicalMembers
+	// order, each contributing its full base-table arity. Canonical order is
+	// what makes the entry query-independent — every consumer permutes these
+	// headers (zero-copy) back into its own plan's schema order.
+	Cols [][]int64
+	// N is the row count (every column has length N).
+	N int
+	// Cards maps the canonical fingerprint of the subtree root and of every
+	// counted interior node of the PRODUCING plan to its exact observed
+	// cardinality. A consumer replays these into its RunStats so the
+	// adaptive feedback loop sees byte-identical cardinalities whether the
+	// subtree executed or was served from cache; a consumer whose subtree
+	// shape needs a fingerprint the entry lacks must treat the probe as a
+	// miss.
+	Cards map[string]int64
+	// Versions pins the data version of every base table the result was
+	// materialized from; probes revalidate them against the live catalog.
+	Versions []TableVersion
+
+	bytes      int64
+	tick       uint64 // logical clock at the last probe hit / store
+	prev, next *Entry // LRU list, most recently used first
+	fp         string
+}
+
+// Bytes returns the entry's accounted size.
+func (e *Entry) Bytes() int64 { return e.bytes }
+
+// size computes the accounted byte cost: the column payload plus a fixed
+// per-entry overhead standing in for headers, map and bookkeeping.
+func (e *Entry) size() int64 {
+	const overhead = 256
+	return int64(len(e.Cols))*int64(e.N)*8 + int64(len(e.Cards))*64 + overhead
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes is the byte budget across all entries; storing beyond it
+	// evicts least-recently-probed entries first. <= 0 disables the cache
+	// entirely (Store rejects, Probe always misses).
+	MaxBytes int64
+	// StaleAfter is the logical age (in probes) beyond which an unprobed
+	// entry stops serving; entries older than twice this age are reclaimed
+	// by the amortized sweep. 0 disables ageing.
+	StaleAfter uint64
+}
+
+// reclaimAfter is the logical age at which a stale entry is deleted.
+func (o Options) reclaimAfter() uint64 { return 2 * o.StaleAfter }
+
+// Cache is a bounded, invalidating store of materialized subexpression
+// results. Safe for concurrent use.
+type Cache struct {
+	opts Options
+
+	mu         sync.Mutex
+	m          map[string]*Entry
+	head, tail *Entry // LRU list: head = most recently probed
+	bytes      int64
+	clock      uint64 // logical clock: one tick per probe
+	lastSweep  uint64
+
+	hits, misses, stores     int64
+	evictions, invalidations int64
+	reclaimed                int64
+}
+
+// New builds an empty cache.
+func New(opts Options) *Cache {
+	return &Cache{opts: opts, m: map[string]*Entry{}}
+}
+
+// Enabled reports whether the cache can hold anything at all.
+func (c *Cache) Enabled() bool { return c != nil && c.opts.MaxBytes > 0 }
+
+// Probe looks the fingerprint up and revalidates the entry's pinned table
+// versions through cur (current data version by table name; ok=false means
+// the table is gone). It returns the entry only when every version matches,
+// the entry is within the staleness horizon, and accept (if non-nil)
+// approves it; a version mismatch deletes the entry (counted as an
+// invalidation), while an accept rejection counts a plain miss and leaves
+// the entry in place — the rejecting caller's plan shape is incompatible,
+// but other consumers' may not be, and a follow-up Store simply replaces
+// it. Each probe ticks the logical clock and periodically sweeps
+// reclaimable entries.
+func (c *Cache) Probe(fp string, cur func(table string) (uint64, bool), accept func(*Entry) bool) (*Entry, bool) {
+	if !c.Enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.maybeSweepLocked()
+	e := c.m[fp]
+	if e == nil {
+		c.misses++
+		return nil, false
+	}
+	if c.opts.StaleAfter > 0 && c.clock-e.tick > c.opts.StaleAfter {
+		// Beyond the horizon: stop serving but leave the entry for the
+		// sweep, so a barely-stale hot set can (not) come back cheaply and
+		// the reclaim accounting stays in one place.
+		c.misses++
+		return nil, false
+	}
+	for _, v := range e.Versions {
+		now, ok := cur(v.Table)
+		if !ok || now != v.Version {
+			c.unlinkLocked(e)
+			c.invalidations++
+			c.misses++
+			return nil, false
+		}
+	}
+	if accept != nil && !accept(e) {
+		c.misses++
+		return nil, false
+	}
+	e.tick = c.clock
+	c.touchLocked(e)
+	c.hits++
+	return e, true
+}
+
+// MaxBytes returns the configured byte budget (0 when disabled). Producers
+// use it to abandon a materialization that could never be admitted.
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.opts.MaxBytes
+}
+
+// Store admits a materialized entry under the fingerprint, evicting
+// least-recently-probed entries until the byte budget holds. It rejects
+// (returns false) when the cache is disabled or the entry alone exceeds the
+// budget. Storing over an existing fingerprint replaces it — last writer
+// wins; concurrent producers materialized the same logical result.
+func (c *Cache) Store(fp string, e *Entry) bool {
+	if !c.Enabled() || e == nil {
+		return false
+	}
+	e.bytes = e.size()
+	if e.bytes > c.opts.MaxBytes {
+		return false
+	}
+	e.fp = fp
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.m[fp]; old != nil {
+		c.unlinkLocked(old)
+	}
+	for c.bytes+e.bytes > c.opts.MaxBytes && c.tail != nil {
+		c.unlinkLocked(c.tail)
+		c.evictions++
+	}
+	e.tick = c.clock
+	c.m[fp] = e
+	c.pushFrontLocked(e)
+	c.bytes += e.bytes
+	c.stores++
+	return true
+}
+
+// Invalidate drops every entry whose pinned versions include the table —
+// the eager path for callers that know a table changed (tests, admin
+// commands); regular serving relies on probe-time revalidation.
+func (c *Cache) Invalidate(table string) int {
+	if !c.Enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.m {
+		for _, v := range e.Versions {
+			if v.Table == table {
+				c.unlinkLocked(e)
+				c.invalidations++
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// maybeSweepLocked reclaims entries beyond twice the staleness horizon, at
+// most once per StaleAfter ticks so the cost amortizes to O(1) per probe.
+func (c *Cache) maybeSweepLocked() {
+	if c.opts.StaleAfter == 0 || c.clock-c.lastSweep < c.opts.StaleAfter {
+		return
+	}
+	c.lastSweep = c.clock
+	horizon := c.opts.reclaimAfter()
+	for _, e := range c.m {
+		if c.clock-e.tick > horizon {
+			c.unlinkLocked(e)
+			c.reclaimed++
+		}
+	}
+}
+
+func (c *Cache) pushFrontLocked(e *Entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) touchLocked(e *Entry) {
+	if c.head == e {
+		return
+	}
+	// unlink from the list only (stays in the map)
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	c.pushFrontLocked(e)
+}
+
+// unlinkLocked removes e from the map, the LRU list and the byte account.
+func (c *Cache) unlinkLocked(e *Entry) {
+	delete(c.m, e.fp)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.bytes -= e.bytes
+}
+
+// Metrics is a consistent snapshot of the cache counters.
+type Metrics struct {
+	Entries int
+	Bytes   int64
+	Clock   uint64
+
+	Hits          int64 // probes served from cache
+	Misses        int64 // probes that found nothing servable
+	Stores        int64 // entries admitted
+	Evictions     int64 // entries evicted by the byte budget
+	Invalidations int64 // entries dropped on a data-version mismatch
+	Reclaimed     int64 // entries reclaimed by the staleness sweep
+}
+
+// Metrics snapshots the counters.
+func (c *Cache) Metrics() Metrics {
+	if c == nil {
+		return Metrics{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{
+		Entries: len(c.m), Bytes: c.bytes, Clock: c.clock,
+		Hits: c.hits, Misses: c.misses, Stores: c.stores,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Reclaimed: c.reclaimed,
+	}
+}

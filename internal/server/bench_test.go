@@ -144,3 +144,91 @@ func BenchmarkWarmStart(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkResultCache measures the semantic result cache on a shared join
+// core (the Q3S join shape, no aggregation): "uncached" executes the plan in
+// full every time, "cold" includes the first spooling execution per server,
+// and "warm" probes a populated cache — each at 1, 2 and 4 concurrent
+// sessions. The warm/uncached ratio at sessions=1 is the figure the
+// ISSUE's ≥2x acceptance bar reads.
+func BenchmarkResultCache(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 42, Skew: 0.5})
+
+	newSrv := func(bytes int64) *Server {
+		srv, err := New(cat, Options{
+			MaxConcurrent: 4, Named: tpch.Queries(),
+			Dict: tpch.Dict(), Date: tpch.Date,
+			ResultCacheBytes: bytes,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	// Warm an entry past its repair phase (and, when caching, its spool).
+	warmup := func(srv *Server) {
+		b.Helper()
+		st, err := srv.Session().PrepareNamed("Q3S")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := st.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	drive := func(b *testing.B, srv *Server, sessions int) {
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := srv.Session()
+				for i := s; i < b.N; i += sessions {
+					st, err := sess.PrepareNamed("Q3S")
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := st.Exec(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		// Per-iteration server: every execution spools from scratch.
+		for i := 0; i < b.N; i++ {
+			srv := newSrv(64 << 20)
+			st, err := srv.Session().PrepareNamed("Q3S")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, sessions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("uncached/sessions=%d", sessions), func(b *testing.B) {
+			srv := newSrv(0)
+			warmup(srv)
+			b.ResetTimer()
+			drive(b, srv, sessions)
+		})
+		b.Run(fmt.Sprintf("warm/sessions=%d", sessions), func(b *testing.B) {
+			srv := newSrv(64 << 20)
+			warmup(srv)
+			if srv.ResultCache().Metrics().Stores == 0 {
+				b.Fatal("warmup spooled nothing")
+			}
+			b.ResetTimer()
+			drive(b, srv, sessions)
+		})
+	}
+}

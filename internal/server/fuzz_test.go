@@ -164,6 +164,15 @@ func FuzzFingerprintStability(f *testing.F) {
 			fps[set] = fp.Fingerprint(set)
 		}
 
+		members := make(map[relalg.RelSet][]int, len(sets))
+		for _, set := range sets {
+			if fp.AmbiguousOrder(set) {
+				// Tables are drawn distinct, so descriptors never collide.
+				t.Fatalf("descriptor-distinct set %v reported ambiguous", set)
+			}
+			members[set] = fp.CanonicalMembers(set)
+		}
+
 		same := preserveMutate(copyQuery(q), r)
 		if got := CanonicalKey(same); got != key {
 			t.Fatalf("spelling mutation changed the cache key:\n%s\n%s", key, got)
@@ -172,6 +181,23 @@ func FuzzFingerprintStability(f *testing.F) {
 		for _, set := range sets {
 			if got := fpSame.Fingerprint(set); got != fps[set] {
 				t.Fatalf("spelling mutation changed fingerprint of %v:\n%s\n%s", set, fps[set], got)
+			}
+			// The canonical member order — the result cache's column-order
+			// contract — must survive spelling mutations too (relation
+			// indices are untouched by preserveMutate, so the orders must
+			// be literally equal).
+			got := fpSame.CanonicalMembers(set)
+			want := members[set]
+			if len(got) != len(want) {
+				t.Fatalf("spelling mutation changed canonical arity of %v: %v vs %v", set, want, got)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("spelling mutation changed canonical member order of %v: %v vs %v", set, want, got)
+				}
+			}
+			if fpSame.AmbiguousOrder(set) {
+				t.Fatalf("spelling mutation made set %v ambiguous", set)
 			}
 		}
 

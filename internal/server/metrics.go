@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/rescache"
 )
 
 // EntryMetrics is one cache entry's counters — the paper's Figure 9 story
@@ -66,6 +68,12 @@ type Metrics struct {
 	StatsStale     int
 	StatsReclaimed int64
 
+	// ResultCache snapshots the semantic result cache (all zero when
+	// Options.ResultCacheBytes is 0); ResultCacheEnabled distinguishes a
+	// disabled cache from an enabled-but-untouched one.
+	ResultCacheEnabled bool
+	ResultCache        rescache.Metrics
+
 	PerEntry []EntryMetrics // in entry creation order
 }
 
@@ -90,6 +98,9 @@ func (s *Server) Metrics() Metrics {
 		StatsDecays:    s.stats.Decays(),
 		StatsStale:     s.stats.StaleKeys(),
 		StatsReclaimed: s.stats.Reclaimed(),
+
+		ResultCacheEnabled: s.resCache.Enabled(),
+		ResultCache:        s.resCache.Metrics(),
 
 		// Start from the retired totals so evicted entries' history stays
 		// in the aggregate counters (their per-entry lines are gone).
@@ -147,6 +158,12 @@ func (m Metrics) String() string {
 		m.Repairs, m.RepairTime.Round(time.Microsecond), m.Converged)
 	fmt.Fprintf(&b, "stats-plane: keys=%d warm-seeds=%d clock=%d decays=%d stale=%d reclaimed=%d\n",
 		m.StatsKeys, m.WarmSeeds, m.StatsClock, m.StatsDecays, m.StatsStale, m.StatsReclaimed)
+	if m.ResultCacheEnabled {
+		rc := m.ResultCache
+		fmt.Fprintf(&b, "result-cache: entries=%d bytes=%d hits=%d misses=%d stores=%d evictions=%d invalidations=%d reclaimed=%d\n",
+			rc.Entries, rc.Bytes, rc.Hits, rc.Misses, rc.Stores,
+			rc.Evictions, rc.Invalidations, rc.Reclaimed)
+	}
 	for _, e := range m.PerEntry {
 		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d warm=%d plan=v%d\n",
 			e.Hash, e.Query, e.Hits, e.Execs,

@@ -59,6 +59,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fbstore"
 	"repro/internal/relalg"
+	"repro/internal/rescache"
 	"repro/internal/sqlmini"
 )
 
@@ -118,6 +119,22 @@ type Options struct {
 	DecayHalfLife float64
 	StaleAfter    uint64
 
+	// ResultCacheBytes enables the server-wide semantic result cache
+	// (internal/rescache) with this byte budget: materialized outputs of
+	// cacheable subplans, keyed by canonical subexpression fingerprint and
+	// shared across statements and sessions. 0 (the default) disables
+	// result caching entirely.
+	ResultCacheBytes int64
+	// ResultCacheMinCost is the optimizer-cost threshold below which a
+	// cacheable subtree is not worth spooling (0: no threshold — every
+	// eligible subtree is cached on first execution).
+	ResultCacheMinCost float64
+	// ResultCacheStaleAfter is the logical age, in result-cache probes,
+	// beyond which an unprobed materialization stops serving and is
+	// eventually reclaimed — the result-plane analogue of StaleAfter.
+	// 0 keeps materializations until evicted or invalidated.
+	ResultCacheStaleAfter uint64
+
 	// Dict resolves string literals in SQL text to dictionary codes and
 	// Date encodes date literals; see internal/sqlmini.
 	Dict map[string]int64
@@ -133,9 +150,10 @@ type Options struct {
 // sessions with Session, and serve wire clients with ServeConn /
 // ServeListener. All methods are safe for concurrent use.
 type Server struct {
-	cat   *catalog.Catalog
-	opts  Options
-	stats *fbstore.StatsStore
+	cat      *catalog.Catalog
+	opts     Options
+	stats    *fbstore.StatsStore
+	resCache *rescache.Cache // nil unless Options.ResultCacheBytes > 0
 
 	sem     chan struct{} // admission slots
 	closed  atomic.Bool   // set by Shutdown: no new executions admitted
@@ -187,12 +205,20 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 			StaleAfter:    opts.StaleAfter,
 		})
 	}
+	var rc *rescache.Cache
+	if opts.ResultCacheBytes > 0 {
+		rc = rescache.New(rescache.Options{
+			MaxBytes:   opts.ResultCacheBytes,
+			StaleAfter: opts.ResultCacheStaleAfter,
+		})
+	}
 	return &Server{
-		cat:     cat,
-		opts:    opts,
-		stats:   stats,
-		sem:     make(chan struct{}, opts.MaxConcurrent),
-		entries: map[string]*planEntry{},
+		cat:      cat,
+		opts:     opts,
+		stats:    stats,
+		resCache: rc,
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+		entries:  map[string]*planEntry{},
 	}, nil
 }
 
@@ -201,6 +227,10 @@ func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
 // Stats returns the server-wide statistics plane.
 func (s *Server) Stats() *fbstore.StatsStore { return s.stats }
+
+// ResultCache returns the server-wide semantic result cache, or nil when
+// result caching is disabled.
+func (s *Server) ResultCache() *rescache.Cache { return s.resCache }
 
 // Session opens a new session. Sessions are cheap handles: all heavy state
 // (plans, optimizers, statistics) lives in the shared cache so that every
@@ -236,6 +266,53 @@ type Session struct {
 	ID  int64
 
 	execs atomic.Int64
+
+	// stmts is the session-local statement handle cache: statement text
+	// (or workload name) resolved straight to the shared cache entry, so a
+	// re-prepare of a statement this session has already bound skips the
+	// parse and the shared-cache lock entirely. Entries are handles, not
+	// copies — the plan, optimizer and statistics stay shared — and a
+	// handle outliving a server-side eviction keeps serving exactly like
+	// any other statement held across an eviction.
+	stmtMu sync.Mutex
+	stmts  map[string]*planEntry
+}
+
+// cachedStmt resolves a session-local statement key, counting a prepare hit.
+// An entry the server has since evicted (or idled past the TTL) falls back
+// to the shared-cache path so eviction semantics stay exactly those of an
+// uncached prepare; both checks are lock-free.
+func (sess *Session) cachedStmt(key string) (*Stmt, bool) {
+	sess.stmtMu.Lock()
+	e := sess.stmts[key]
+	sess.stmtMu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	now := time.Now()
+	if e.dropped.Load() || sess.srv.expired(e, now) {
+		sess.stmtMu.Lock()
+		if sess.stmts[key] == e {
+			delete(sess.stmts, key)
+		}
+		sess.stmtMu.Unlock()
+		return nil, false
+	}
+	e.lastUsed.Store(now.UnixNano())
+	sess.srv.hits.Add(1)
+	e.hits.Add(1)
+	return &Stmt{sess: sess, entry: e, Hit: true}, true
+}
+
+// storeStmt remembers a resolved statement handle under the session-local
+// key.
+func (sess *Session) storeStmt(key string, st *Stmt) {
+	sess.stmtMu.Lock()
+	if sess.stmts == nil {
+		sess.stmts = map[string]*planEntry{}
+	}
+	sess.stmts[key] = st.entry
+	sess.stmtMu.Unlock()
 }
 
 // Execs reports the number of statements this session has executed.
@@ -243,24 +320,44 @@ func (sess *Session) Execs() int64 { return sess.execs.Load() }
 
 // Prepare parses a SQL statement and binds it to the shared plan cache,
 // optimizing it from scratch only if no structurally equal statement is
-// cached yet.
+// cached yet. Statements this session has prepared before resolve through
+// the session-local handle cache — no parse, no shared-cache lock.
 func (sess *Session) Prepare(sql string) (*Stmt, error) {
+	key := "sql:" + sql
+	if st, ok := sess.cachedStmt(key); ok {
+		return st, nil
+	}
 	q, err := sqlmini.Parse(sql, sess.srv.cat, sqlmini.Options{
 		Dict: sess.srv.opts.Dict, Date: sess.srv.opts.Date,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return sess.PrepareQuery(q)
+	st, err := sess.PrepareQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	sess.storeStmt(key, st)
+	return st, nil
 }
 
-// PrepareNamed binds a statement from the Options.Named registry.
+// PrepareNamed binds a statement from the Options.Named registry, resolving
+// repeats through the session-local handle cache like Prepare.
 func (sess *Session) PrepareNamed(name string) (*Stmt, error) {
+	key := "name:" + name
+	if st, ok := sess.cachedStmt(key); ok {
+		return st, nil
+	}
 	q, ok := sess.srv.opts.Named[name]
 	if !ok {
 		return nil, fmt.Errorf("server: unknown named query %q", name)
 	}
-	return sess.PrepareQuery(q)
+	st, err := sess.PrepareQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	sess.storeStmt(key, st)
+	return st, nil
 }
 
 // PrepareQuery binds an already-built query to the shared plan cache. The
@@ -380,6 +477,7 @@ type retiredCounters struct {
 // the shared store.
 func (s *Server) removeLocked(key string) *planEntry {
 	e := s.entries[key]
+	e.dropped.Store(true)
 	delete(s.entries, key)
 	for i, k := range s.order {
 		if k == key {
@@ -425,11 +523,13 @@ type planEntry struct {
 	hits     atomic.Int64
 	execs    atomic.Int64
 	lastUsed atomic.Int64 // unix nanos of the last prepare/exec (LRU + TTL)
+	dropped  atomic.Bool  // set on eviction; session handle caches re-resolve
 
 	mu      sync.Mutex // guards everything below
 	model   *cost.Model
 	opt     *core.Optimizer
 	cal     *aqp.Calibrator
+	fper    *relalg.Fingerprinter // memoized; not concurrency-safe, use under mu
 	initErr error
 
 	fullOpts    int64 // from-scratch optimizations (1, at initialization)
@@ -446,6 +546,11 @@ type planEntry struct {
 type planVersion struct {
 	plan    *relalg.Plan
 	version uint64
+	// cands are the plan's cacheable subtrees for the semantic result
+	// cache, derived once per generation (candidates match plan nodes by
+	// identity, so they are only valid against exactly this tree). Nil when
+	// result caching is disabled.
+	cands []exec.CacheCandidate
 }
 
 // warmStartBound caps the subexpression enumeration at warm start: beyond
@@ -523,10 +628,21 @@ func (e *planEntry) ensureInit(s *Server) error {
 	e.model = m
 	e.opt = opt
 	e.cal = cal
+	e.fper = fp
 	e.fullOpts++
 	e.fullOptTime += opt.Metrics().Elapsed
-	e.cur.Store(&planVersion{plan: plan, version: 1})
+	e.cur.Store(&planVersion{plan: plan, version: 1, cands: e.cacheCands(s, plan)})
 	return nil
+}
+
+// cacheCands derives the result-cache candidates for a freshly published
+// plan tree. Caller holds e.mu (the Fingerprinter memo is not
+// concurrency-safe).
+func (e *planEntry) cacheCands(s *Server, plan *relalg.Plan) []exec.CacheCandidate {
+	if !s.resCache.Enabled() {
+		return nil
+	}
+	return exec.BuildCacheCandidates(e.q, plan, e.fper, s.opts.ResultCacheMinCost)
 }
 
 // feedback folds one execution's observed cardinalities into the shared
@@ -535,7 +651,7 @@ func (e *planEntry) ensureInit(s *Server) error {
 // running as a service: UpdateCardFactor stages the deltas, Reoptimize
 // repairs only the affected region, and the repaired plan is published
 // atomically for every session.
-func (e *planEntry) feedback(cards map[relalg.RelSet]int64) (bool, error) {
+func (e *planEntry) feedback(s *Server, cards map[relalg.RelSet]int64) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	changed := e.cal.Observe(cards, e.model)
@@ -554,7 +670,8 @@ func (e *planEntry) feedback(cards map[relalg.RelSet]int64) (bool, error) {
 	e.repairs++
 	e.repairTime += met.Elapsed
 	e.touched += int64(met.TouchedEntries)
-	e.cur.Store(&planVersion{plan: plan, version: e.cur.Load().version + 1})
+	e.cur.Store(&planVersion{plan: plan, version: e.cur.Load().version + 1,
+		cands: e.cacheCands(s, plan)})
 	return true, nil
 }
 
@@ -613,7 +730,10 @@ func (st *Stmt) Exec() (*Result, error) {
 	snap := e.cur.Load()
 
 	start := time.Now()
-	comp := &exec.Compiler{Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism}
+	comp := &exec.Compiler{
+		Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism,
+		Cache: srv.resCache, CacheCands: snap.cands,
+	}
 	v, stats, err := comp.CompileVec(snap.plan)
 	if err != nil {
 		return nil, err
@@ -626,7 +746,7 @@ func (st *Stmt) Exec() (*Result, error) {
 	e.execs.Add(1)
 	st.sess.execs.Add(1)
 
-	repaired, err := e.feedback(stats.Snapshot())
+	repaired, err := e.feedback(srv, stats.Snapshot())
 	if err != nil {
 		return nil, err
 	}

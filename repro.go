@@ -22,6 +22,9 @@
 //     cardinality observations keyed by canonical subexpression
 //     fingerprint, shared by every plan-cache entry and surviving their
 //     eviction;
+//   - internal/rescache — the bounded server-wide semantic result cache:
+//     materialized subexpression outputs keyed by the same canonical
+//     fingerprints, invalidated by base-table data versions;
 //   - internal/server — the concurrent query service: sessions over a
 //     shared plan cache whose entries each hold a live incremental
 //     optimizer, so every execution's feedback incrementally repairs the
@@ -86,6 +89,26 @@
 // fingerprint stops warm-starting and is eventually reclaimed. The
 // internal/driftkit harness replays phase-shifted workloads against a live
 // Server to assert exactly that repair-then-reconverge trajectory.
+//
+// # Cross-query result reuse
+//
+// The fingerprint plane identifies more than statistics: two subexpressions
+// with equal canonical fingerprints compute the same relation. Setting
+// ServerOptions.ResultCacheBytes gives the server a bounded semantic result
+// cache (internal/rescache) that exploits this. When a statement executes,
+// the compiler probes the cache for each hot cacheable subtree of its plan;
+// a hit replaces the subtree with a zero-copy scan over the materialized
+// columns — shared across statements and sessions that never saw each other
+// — while a miss tees the subtree's output into the cache as a side effect
+// of normal execution. Entries pin the data versions of their base tables
+// (bumped by catalog Append/Analyze), so a mutation silently invalidates
+// every dependent result; the byte budget evicts LRU, and
+// ServerOptions.ResultCacheStaleAfter ages out entries the workload stopped
+// touching. Cached serving is exactly transparent: results and the
+// per-operator cardinality feedback driving plan repair are byte-identical
+// with the cache on or off. Hit/miss/store/eviction/invalidation counters
+// surface in ServerMetrics; cmd/reproserve wires the budget to
+// -result-cache-mb.
 package repro
 
 import (
