@@ -9,6 +9,9 @@
 //	optcli -query q3s -table            # paper Table 1
 //	optcli -query q5 -reopt "D=8"       # apply a Figure 5 style update
 //	optcli -query q5 -exec -parallelism 4  # execute the plan with 4 workers
+//	optcli -query q5 -analyze              # execute with per-operator profiling
+//	                                       # (EXPLAIN ANALYZE: time/batches/rows,
+//	                                       # est-vs-act cardinality per node)
 //	optcli -sql "SELECT c.c_custkey FROM customer c, orders o \
 //	  WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'MACHINERY'" -exec
 package main
@@ -42,6 +45,7 @@ func main() {
 	table := flag.Bool("table", false, "print the SearchSpace table (declarative only)")
 	reopt := flag.String("reopt", "", "comma list of updates, e.g. \"A=0.5,E=8\" (Q5 expressions) or \"scan:orders=4\"")
 	doExec := flag.Bool("exec", false, "execute the chosen plan and print row count and timing")
+	analyze := flag.Bool("analyze", false, "execute with per-operator profiling and print the EXPLAIN ANALYZE tree (implies -exec)")
 	parallelism := flag.Int("parallelism", 1, "executor pipeline workers for -exec; <= 1 is serial")
 	flag.Parse()
 
@@ -85,8 +89,8 @@ func main() {
 			res.Cost, res.Metrics.Elapsed, res.Metrics.Groups,
 			res.Metrics.Alts, res.Metrics.CostedAlts, res.Metrics.PrunedAlts)
 		fmt.Print(res.Plan.Explain(q))
-		if *doExec {
-			execute(q, cat, res.Plan, *parallelism)
+		if *doExec || *analyze {
+			execute(q, cat, res.Plan, *parallelism, *analyze)
 		}
 		return
 	case "systemr":
@@ -97,8 +101,8 @@ func main() {
 		fmt.Printf("systemr: cost %.3f in %v; %d groups, %d alternatives costed\n",
 			res.Cost, res.Metrics.Elapsed, res.Metrics.Groups, res.Metrics.CostedAlts)
 		fmt.Print(res.Plan.Explain(q))
-		if *doExec {
-			execute(q, cat, res.Plan, *parallelism)
+		if *doExec || *analyze {
+			execute(q, cat, res.Plan, *parallelism, *analyze)
 		}
 		return
 	}
@@ -174,8 +178,8 @@ func main() {
 			fmt.Print(plan.Explain(q))
 		}
 	}
-	if *doExec {
-		execute(q, cat, plan, *parallelism)
+	if *doExec || *analyze {
+		execute(q, cat, plan, *parallelism, *analyze)
 	}
 	if *table {
 		fmt.Println("\n== SearchSpace (cf. Table 1) ==")
@@ -189,10 +193,14 @@ func main() {
 
 // execute runs the chosen plan through the vectorized executor — with fused
 // parallel pipelines when parallelism > 1 — and prints the result
-// cardinality and execution time.
-func execute(q *relalg.Query, cat *catalog.Catalog, plan *relalg.Plan, parallelism int) {
+// cardinality and execution time. With analyze it profiles every operator
+// and prints the annotated EXPLAIN ANALYZE tree.
+func execute(q *relalg.Query, cat *catalog.Catalog, plan *relalg.Plan, parallelism int, analyze bool) {
 	comp := &exec.Compiler{Q: q, Cat: cat, Parallelism: parallelism}
-	v, _, err := comp.CompileVec(plan)
+	if analyze {
+		comp.Prof = exec.NewPlanProfile()
+	}
+	v, stats, err := comp.CompileVec(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -203,4 +211,7 @@ func execute(q *relalg.Query, cat *catalog.Catalog, plan *relalg.Plan, paralleli
 	}
 	fmt.Printf("executed: %d result rows in %v (parallelism %d)\n",
 		n, time.Since(start), parallelism)
+	if analyze {
+		fmt.Print(comp.Prof.Format(q, plan, stats))
+	}
 }

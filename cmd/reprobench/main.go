@@ -13,6 +13,7 @@
 //	reprobench -parallelism 4   # parallel pipeline workers during execution
 //	reprobench -fig layouts     # columnar vs row batch layout, rows/sec
 //	reprobench -fig rescache    # semantic result cache, spool/probe vs uncached
+//	reprobench -fig drift       # drift adaptation trajectory via the event plane
 //	reprobench -columnar=false  # run every figure through the row layout
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation,layouts,rescache); empty = all")
+	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation,layouts,rescache,drift); empty = all")
 	table := flag.String("table", "", "table to run (3); empty = all")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -86,9 +87,12 @@ func main() {
 	if all || *fig == "rescache" {
 		show(env.ResultCache())
 	}
+	if all || *fig == "drift" {
+		show(env.Drift(10))
+	}
 	if !all && *fig != "" {
 		switch *fig {
-		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation", "layouts", "rescache":
+		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation", "layouts", "rescache", "drift":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)

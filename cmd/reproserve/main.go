@@ -44,6 +44,22 @@
 // never served stale. The shutdown metrics flush reports the cache's
 // hit/miss/store/eviction/invalidation counters when enabled.
 //
+// Observability:
+//
+//   - -http ADDR serves the debug plane on a second listener: GET /metrics
+//     (Prometheus text format — execution latency, queue wait and repair
+//     histograms with p50/p95/p99, every server counter, per-entry
+//     estimation-error gauges), /metrics.json, /traces (lifecycle events
+//     and slow-query dumps), and /debug/pprof/*.
+//   - -trace-events N keeps the last N query-lifecycle events (prepare
+//     hit/miss, queue wait, exec, repair, result-cache activity) in a ring,
+//     readable via the protocol's "trace" command and /traces.
+//   - -slow-query D profiles every execution and dumps any one slower than
+//     D — its lifecycle events plus a full per-operator EXPLAIN ANALYZE —
+//     to stderr and the /traces ring.
+//   - -metrics-json renders the final shutdown metrics flush as JSON
+//     instead of the text report.
+//
 // Protocol (one command per line; see internal/server/proto.go):
 //
 //	query q5 Q5          bind the named TPC-H Q5 as statement "q5"
@@ -52,17 +68,21 @@
 //	rows s1              execute and stream result rows
 //	run SELECT...        one-shot prepare + exec
 //	explain q5           show the current cached plan
+//	analyze q5           execute with per-operator profiling (EXPLAIN ANALYZE)
 //	metrics              cache hit/miss, repair vs full-opt, stats plane
+//	trace                dump the lifecycle event ring (needs -trace-events)
 //	quit
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -84,6 +104,10 @@ func main() {
 	halfLife := flag.Float64("stats-half-life", 0, "observation-decay half-life of the statistics plane, in logical observations; 0 keeps full history")
 	staleAfter := flag.Uint64("stats-stale-after", 0, "observations after which an unseen fingerprint stops warm-starting (reclaimed at twice this age); 0 keeps everything")
 	resultCacheMB := flag.Int64("result-cache-mb", 0, "semantic result cache byte budget in MiB, shared by all sessions (LRU eviction, data-version invalidation); 0 disables result caching")
+	httpAddr := flag.String("http", "", "debug/metrics listen address (e.g. 127.0.0.1:9090): /metrics (Prometheus), /metrics.json, /traces, /debug/pprof/*; empty disables")
+	traceEvents := flag.Int("trace-events", 0, "query-lifecycle event ring size (prepare/queue/exec/repair/result-cache events); 0 disables tracing")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query threshold (e.g. 50ms): slower executions dump lifecycle trace + EXPLAIN ANALYZE to stderr and /traces; 0 disables")
+	metricsJSON := flag.Bool("metrics-json", false, "render the final shutdown metrics flush as JSON instead of the text report")
 	flag.Parse()
 
 	stats := repro.NewStatsStoreWith(repro.StatsStoreOptions{
@@ -114,9 +138,28 @@ func main() {
 		Named:         tpch.Queries(),
 
 		ResultCacheBytes: *resultCacheMB << 20,
+
+		TraceEvents:    *traceEvents,
+		TraceSlowQuery: *slowQuery,
+		TraceOnSlow: func(dump string) {
+			fmt.Fprintf(os.Stderr, "reproserve: %s", dump)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *httpAddr != "" {
+		dl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "reproserve: debug plane on http://%s (/metrics /metrics.json /traces /debug/pprof/)\n", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, srv.DebugHandler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "reproserve: debug plane: %v\n", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -133,7 +176,7 @@ func main() {
 		case s := <-sig:
 			fmt.Fprintf(os.Stderr, "reproserve: %v, draining in-flight executions\n", s)
 		}
-		shutdown(srv, *statsFile)
+		shutdown(srv, *statsFile, *metricsJSON)
 		return
 	}
 	l, err := net.Listen("tcp", *listen)
@@ -150,7 +193,7 @@ func main() {
 	if err := srv.ServeListener(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
-	shutdown(srv, *statsFile)
+	shutdown(srv, *statsFile, *metricsJSON)
 }
 
 // shutdown drains the admission semaphore, persists the statistics plane
@@ -159,7 +202,7 @@ func main() {
 // including the ageing clock, decay, staleness and reclaim totals — a
 // long-running serve accumulated, written where an operator (or test
 // harness) can collect them.
-func shutdown(srv *repro.Server, statsFile string) {
+func shutdown(srv *repro.Server, statsFile string, asJSON bool) {
 	start := time.Now()
 	srv.Shutdown()
 	if statsFile != "" {
@@ -169,6 +212,15 @@ func shutdown(srv *repro.Server, statsFile string) {
 			fmt.Fprintf(os.Stderr, "reproserve: saved %d statistics fingerprints to %s\n",
 				srv.Stats().Len(), statsFile)
 		}
+	}
+	if asJSON {
+		blob, err := json.MarshalIndent(srv.Metrics(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "reproserve: drained in %v, final metrics:\n%s\n",
+			time.Since(start).Round(time.Millisecond), blob)
+		return
 	}
 	fmt.Fprintf(os.Stderr, "reproserve: drained in %v, final metrics:\n%s",
 		time.Since(start).Round(time.Millisecond), srv.Metrics())

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/linearroad"
+	"repro/internal/obs"
 	"repro/internal/relalg"
 	"repro/internal/server"
 )
@@ -154,11 +155,25 @@ func (h *Harness) Catalog() *catalog.Catalog { return h.win.Catalog() }
 // Run drives the server strictly serially and re-materializes the catalog
 // between executions; do not execute other statements against the same
 // server concurrently.
+//
+// The trajectory is read back from the server's lifecycle event plane, not
+// from private return values: each phase is bracketed by obs.KindPhase
+// markers (start, then end carrying the phase's estimation error), and the
+// per-execution Points are reconstructed from the KindExec events the
+// server emitted in between. The server must therefore be built with
+// Options.TraceEvents large enough to retain one phase's events (execs,
+// repairs and queue waits — a phase's Execs * 4 is a safe bound); any
+// scrape-side consumer watching the same tracer sees exactly the trajectory
+// the Report summarizes.
 func (h *Harness) Run(srv *server.Server) (*Report, error) {
 	if h.ran {
 		return nil, fmt.Errorf("driftkit: harness already ran; build a new one per replay")
 	}
 	h.ran = true
+	tr := srv.Tracer()
+	if !tr.Enabled() {
+		return nil, fmt.Errorf("driftkit: server must be built with Options.TraceEvents > 0 (the harness reads the trajectory from the event plane)")
+	}
 	sess := srv.Session()
 	var st *server.Stmt
 	rep := &Report{}
@@ -167,7 +182,8 @@ func (h *Harness) Run(srv *server.Server) (*Report, error) {
 			return nil, fmt.Errorf("driftkit: phase %d (%s) needs positive Execs and Seconds", pi, ph.Name)
 		}
 		phaseStartClock := srv.Stats().Clock()
-		var points []Point
+		phaseStartSeq := tr.Seq()
+		tr.Emit(obs.Event{Kind: obs.KindPhase, Note: ph.Name, A: 1})
 		for i := 1; i <= ph.Execs; i++ {
 			rows := h.gen.Slice(h.t, h.t+ph.Seconds)
 			h.t += ph.Seconds
@@ -185,18 +201,43 @@ func (h *Harness) Run(srv *server.Server) (*Report, error) {
 					return nil, fmt.Errorf("driftkit: prepare: %w", err)
 				}
 			}
-			res, err := st.Exec()
-			if err != nil {
+			if _, err := st.Exec(); err != nil {
 				return nil, fmt.Errorf("driftkit: phase %s exec %d: %w", ph.Name, i, err)
 			}
-			p := Point{Phase: ph.Name, Exec: i, Repaired: res.Repaired,
-				PlanVersion: res.PlanVersion, Rows: len(res.Rows)}
-			points = append(points, p)
-			rep.Points = append(rep.Points, p)
 		}
-		rep.Phases = append(rep.Phases, h.phaseReport(srv, ph, points, phaseStartClock))
+		points, err := phasePoints(tr.Since(phaseStartSeq), ph)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, points...)
+		pr := h.phaseReport(srv, ph, points, phaseStartClock)
+		tr.Emit(obs.Event{Kind: obs.KindPhase, Note: ph.Name, A: 2, V: pr.EstimationError})
+		rep.Phases = append(rep.Phases, pr)
 	}
 	return rep, nil
+}
+
+// phasePoints reconstructs one phase's execution trajectory from the
+// lifecycle events emitted since the phase started.
+func phasePoints(events []obs.Event, ph Phase) ([]Point, error) {
+	var points []Point
+	for _, ev := range events {
+		if ev.Kind != obs.KindExec {
+			continue
+		}
+		points = append(points, Point{
+			Phase:       ph.Name,
+			Exec:        len(points) + 1,
+			Repaired:    ev.Note == "repaired",
+			PlanVersion: uint64(ev.B),
+			Rows:        int(ev.A),
+		})
+	}
+	if len(points) != ph.Execs {
+		return nil, fmt.Errorf("driftkit: phase %s: event plane retained %d of %d executions — raise Options.TraceEvents so one phase fits the ring",
+			ph.Name, len(points), ph.Execs)
+	}
+	return points, nil
 }
 
 // phaseReport folds one phase's points and the statistics plane's end-state

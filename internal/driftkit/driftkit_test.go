@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/linearroad"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -56,7 +57,8 @@ func replay(t *testing.T, halfLife float64) *Report {
 	h := New(scenario())
 	// Threshold 0.3: wide enough to suppress the window-membership noise
 	// inside a stationary phase, far below the ~8x step at the shift.
-	srv, err := server.New(h.Catalog(), server.Options{DecayHalfLife: halfLife, FeedbackThreshold: 0.3})
+	srv, err := server.New(h.Catalog(), server.Options{
+		DecayHalfLife: halfLife, FeedbackThreshold: 0.3, TraceEvents: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestHarnessDeterminism(t *testing.T) {
 	short.Phases[0].Execs = 4
 	run := func() string {
 		h := New(short)
-		srv, err := server.New(h.Catalog(), server.Options{DecayHalfLife: 30})
+		srv, err := server.New(h.Catalog(), server.Options{DecayHalfLife: 30, TraceEvents: 256})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +144,7 @@ func TestHarnessSingleUse(t *testing.T) {
 	short := scenario()
 	short.Phases = []Phase{{Name: "p", Execs: 1, Seconds: 5}}
 	h := New(short)
-	srv, err := server.New(h.Catalog(), server.Options{})
+	srv, err := server.New(h.Catalog(), server.Options{TraceEvents: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +153,53 @@ func TestHarnessSingleUse(t *testing.T) {
 	}
 	if _, err := h.Run(srv); err == nil {
 		t.Fatal("second Run on a spent harness succeeded")
+	}
+}
+
+// TestHarnessRequiresEventPlane: the harness reads its trajectory from the
+// server's lifecycle events, so a trace-disabled server is a configuration
+// error, and a traced replay brackets each phase with phase markers any
+// scrape-side consumer can follow.
+func TestHarnessRequiresEventPlane(t *testing.T) {
+	short := scenario()
+	short.Phases = []Phase{{Name: "p", Execs: 2, Seconds: 5}}
+
+	h := New(short)
+	quiet, err := server.New(h.Catalog(), server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(quiet); err == nil {
+		t.Fatal("Run against a trace-disabled server succeeded")
+	}
+
+	h = New(short)
+	srv, err := server.New(h.Catalog(), server.Options{TraceEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends, execs := 0, 0, 0
+	for _, ev := range srv.Tracer().Events() {
+		switch {
+		case ev.Kind == obs.KindPhase && ev.A == 1:
+			starts++
+		case ev.Kind == obs.KindPhase && ev.A == 2:
+			ends++
+			if ev.V != rep.Phases[0].EstimationError {
+				t.Fatalf("phase-end event est-err=%v, report says %v", ev.V, rep.Phases[0].EstimationError)
+			}
+		case ev.Kind == obs.KindExec:
+			execs++
+		}
+	}
+	if starts != 1 || ends != 1 || execs != 2 {
+		t.Fatalf("phase markers wrong: starts=%d ends=%d execs=%d", starts, ends, execs)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points reconstructed from events: %d, want 2", len(rep.Points))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/relalg"
 	"repro/internal/rescache"
 )
@@ -81,6 +82,13 @@ type Compiler struct {
 	// the row engine and Data-overridden compilations ignore both.
 	Cache      *rescache.Cache
 	CacheCands []CacheCandidate
+	// Prof, when non-nil, collects a per-operator execution profile for
+	// EXPLAIN ANALYZE: every compiled operator is wrapped in a timing shim
+	// recording batches/rows/wall time per plan node (fused pipelines
+	// register per-stage spans instead; see profile.go). Nil — the default
+	// — compiles exactly the unprofiled operator tree. Columnar-only: the
+	// DisableColumnar row path ignores it.
+	Prof *PlanProfile
 	// decisions maps plan nodes to their resolved cache decision for the
 	// current CompileVec call.
 	decisions map[*relalg.Plan]*cacheDecision
@@ -167,6 +175,9 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 	}
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
 	c.resolveCache()
+	if c.Prof != nil {
+		c.Prof.workers = c.Parallelism
+	}
 	// Full-pipeline fusion at the root: when the query aggregates, the
 	// fused pipeline's terminal becomes worker-local partial aggregation
 	// (even for a bare scan plan, the Q1/Q6 shape), so no exchange or
@@ -187,6 +198,13 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 					return nil, nil, err
 				}
 				op.fuseAgg(spec)
+				if op.prof != nil {
+					// The fused aggregation is the pipeline's terminal:
+					// its time comes from the workers' terminal clock
+					// slot, self-time like the other stages.
+					c.Prof.Agg.Self = true
+					op.prof.term = c.Prof.Agg
+				}
 			}
 			return op, stats, nil
 		}
@@ -201,6 +219,9 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 			return nil, nil, err
 		}
 		v = NewVecHashAgg(v, spec)
+		if c.Prof != nil {
+			v = &profVec{in: v, sp: c.Prof.Agg}
+		}
 	}
 	return v, stats, nil
 }
@@ -436,9 +457,23 @@ func (c *Compiler) counted(it Iterator, set relalg.RelSet, stats *RunStats) Iter
 
 // ---- vectorized compilation ----
 
-// compileVec mirrors compile over the vectorized operator set and returns
-// the operator and its output schema.
+// compileVec compiles one plan node via compileVecNode and — when
+// profiling — wraps the result in the timing shim for that node. Fused
+// pipelines are exempt: they register their own per-stage spans.
 func (c *Compiler) compileVec(p *relalg.Plan, stats *RunStats) (VecIterator, []relalg.ColID, error) {
+	v, schema, err := c.compileVecNode(p, stats)
+	if err != nil || c.Prof == nil {
+		return v, schema, err
+	}
+	if _, fused := v.(*parallelPipelineOp); fused {
+		return v, schema, nil
+	}
+	return &profVec{in: v, sp: c.Prof.span(p)}, schema, nil
+}
+
+// compileVecNode mirrors compile over the vectorized operator set and
+// returns the operator and its output schema.
+func (c *Compiler) compileVecNode(p *relalg.Plan, stats *RunStats) (VecIterator, []relalg.ColID, error) {
 	if d := c.takeDecision(p); d != nil {
 		return c.applyCacheDecision(d, p, stats)
 	}
@@ -666,6 +701,17 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 			probeKeys: rKeys, residual: residual, card: stats.counter(pj.Expr)})
 	}
 	op := newParallelPipeline(data, ScanFilter{Conds: conds}, scanCard, stages, c.Parallelism)
+	if c.Prof != nil {
+		// Register self-time spans for every fused node: stages[j] probes
+		// spine[len-1-j] (the stage list assembles bottom-up), and the
+		// scan span belongs to the leaf. Build subtrees were compiled via
+		// compileVec above and carry their own inclusive shims.
+		pr := &pipeProf{scan: c.Prof.selfSpan(cur), stages: make([]*obs.Span, len(stages))}
+		for j := range stages {
+			pr.stages[j] = c.Prof.selfSpan(spine[len(spine)-1-j])
+		}
+		op.prof = pr
+	}
 	return op, schema, true, nil
 }
 

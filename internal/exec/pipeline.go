@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements full-pipeline morsel-driven parallelism: instead of
@@ -44,6 +45,12 @@ type parallelPipelineOp struct {
 	stages  []*pipeStage // in probe order: stages[0] is probed first
 	agg     *AggSpecExec // nil = collect mode (emit joined rows)
 	workers int
+	// prof, when non-nil, receives the fused profile: per-worker stage
+	// clocks attribute each worker's wall time exclusively to the segment
+	// it is executing (scan, probe stage, terminal sink) and are merged
+	// into the self-time spans once after the workers join. Nil — the
+	// default — leaves only a per-chunk nil check on the probe path.
+	prof *pipeProf
 
 	out   colData
 	pos   int
@@ -93,6 +100,7 @@ type pipeWorker struct {
 	agg     *aggTable
 	aggScr  aggScratch
 	collect colData
+	clock   *stageClock // nil unless profiling
 }
 
 func (p *parallelPipelineOp) Open() error {
@@ -138,6 +146,9 @@ func (p *parallelPipelineOp) Open() error {
 		} else {
 			pw.collect.cols = make([][]int64, width)
 		}
+		if p.prof != nil {
+			pw.clock = newStageClock(len(p.stages) + 2)
+		}
 		workers[w] = pw
 		wg.Add(1)
 		go func() {
@@ -174,8 +185,38 @@ func (p *parallelPipelineOp) Open() error {
 			p.out.appendFrom(pw.collect)
 		}
 	}
+	if p.prof != nil {
+		p.mergeProf(workers)
+	}
 	p.pos = 0
 	return nil
+}
+
+// mergeProf folds the per-worker stage clocks into the profile's self-time
+// spans. Span times become the sum of worker time per segment (CPU time,
+// not wall time); rows reuse the exact per-worker cardinality counters, so
+// profile rows == RunStats counts by construction. A stage's emitted-chunk
+// count equals the entry count of the slot below it (each flush feeds the
+// cascade synchronously).
+func (p *parallelPipelineOp) mergeProf(workers []*pipeWorker) {
+	last := len(p.stages) + 1 // terminal clock slot
+	for _, pw := range workers {
+		ck := pw.clock
+		p.prof.scan.Record(ck.batches[1], pw.counts[0], time.Duration(ck.times[0]))
+		for i := range p.stages {
+			p.prof.stages[i].Record(ck.batches[i+2], pw.counts[i+1], time.Duration(ck.times[i+1]))
+		}
+		if p.prof.term != nil {
+			p.prof.term.Record(0, 0, time.Duration(ck.times[last]))
+		} else if n := len(p.stages); n > 0 {
+			// Collect mode has no terminal operator; materialization time
+			// belongs to the last stage's output.
+			p.prof.stages[n-1].Record(0, 0, time.Duration(ck.times[last]))
+		}
+	}
+	if p.prof.term != nil {
+		p.prof.term.Record(int64((p.out.n+BatchSize-1)/BatchSize), int64(p.out.n), 0)
+	}
 }
 
 func (w *pipeWorker) run(cursor *atomic.Int64) {
@@ -185,10 +226,16 @@ func (w *pipeWorker) run(cursor *atomic.Int64) {
 	if !filter.Empty() {
 		sel = make([]int, 0, morselSize)
 	}
+	if w.clock != nil {
+		w.clock.last = time.Now() // attribution starts on the scan slot
+	}
 	var window [][]int64
 	for {
 		lo := int(cursor.Add(1)-1) * morselSize
 		if lo >= data.n {
+			if w.clock != nil {
+				w.clock.to(0) // flush the trailing scan segment
+			}
 			return
 		}
 		hi := lo + morselSize
@@ -217,7 +264,24 @@ func (w *pipeWorker) run(cursor *atomic.Int64) {
 // pairs at a time through residual filtering and per-column Gather into the
 // depth's scratch chunk — which the cascade below consumes synchronously
 // before the next flush overwrites it.
+//
+// Under profiling, entering a stage switches the worker's clock to that
+// stage's slot and leaving restores the caller's, so every instant of
+// worker time is attributed to exactly one segment; slot depth+1 covers
+// both probe stages and the terminal sink (depth == len(stages)).
 func (w *pipeWorker) probeStage(depth int, cols [][]int64, n int, sel []int) {
+	if ck := w.clock; ck != nil {
+		prev := ck.cur
+		ck.to(depth + 1)
+		ck.batches[depth+1]++
+		w.probeStageBody(depth, cols, n, sel)
+		ck.to(prev)
+		return
+	}
+	w.probeStageBody(depth, cols, n, sel)
+}
+
+func (w *pipeWorker) probeStageBody(depth int, cols [][]int64, n int, sel []int) {
 	if depth == len(w.op.stages) {
 		if w.agg != nil {
 			w.agg.addBatch(cols, n, sel, &w.aggScr)

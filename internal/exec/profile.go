@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relalg"
+)
+
+// Per-operator execution profiling (EXPLAIN ANALYZE). Setting Compiler.Prof
+// to a fresh PlanProfile makes CompileVec wrap every compiled operator in a
+// timing shim (profVec) that records batches, live rows and cumulative wall
+// time at batch granularity into a per-plan-node obs.Span; the fused
+// parallel pipeline instead registers per-stage self-time spans filled from
+// per-worker clocks (pipeline.go) and merged exactly once. With Prof nil —
+// the default — no shim is inserted anywhere and the operator tree is
+// byte-for-byte the one an unprofiled compile produces, so profiling is
+// provably free when off (TestScanAggSteadyStateAllocs and the RunStats
+// differentials run both ways).
+//
+// Profiling never changes results or feedback: the shim sits OUTSIDE the
+// cardinality counter of its node, so the rows a span records are exactly
+// the rows RunStats counts (asserted at P ∈ {1,2,4} by
+// TestExplainAnalyzeMatchesRunStats).
+
+// PlanProfile collects the execution profile of one compiled plan: one span
+// per plan node plus one for the terminal aggregation. Build it with
+// NewPlanProfile, hand it to Compiler.Prof, execute, then render with
+// Format. A profile belongs to a single execution; do not reuse across
+// compiles.
+type PlanProfile struct {
+	spans map[*relalg.Plan]*obs.Span
+	// Agg profiles the terminal aggregation (hash agg above the plan root,
+	// or the fused pipeline's worker-local partial aggregation).
+	Agg *obs.Span
+	// workers is the compile-time parallelism, recorded for rendering:
+	// fused-pipeline span times are summed across workers.
+	workers int
+}
+
+// NewPlanProfile returns an empty profile ready for Compiler.Prof.
+func NewPlanProfile() *PlanProfile {
+	return &PlanProfile{spans: map[*relalg.Plan]*obs.Span{}, Agg: &obs.Span{}}
+}
+
+// span returns the (inclusive-time) span of a plan node, registering it on
+// first use.
+func (pp *PlanProfile) span(p *relalg.Plan) *obs.Span {
+	sp, ok := pp.spans[p]
+	if !ok {
+		sp = &obs.Span{}
+		pp.spans[p] = sp
+	}
+	return sp
+}
+
+// selfSpan registers a node's span in self-time mode (the fused pipeline's
+// exclusive per-stage attribution; see obs.Span.Self).
+func (pp *PlanProfile) selfSpan(p *relalg.Plan) *obs.Span {
+	sp := pp.span(p)
+	sp.Self = true
+	return sp
+}
+
+// SpanOf returns the recorded span of a plan node (nil when the node was
+// never executed, e.g. a subtree served from the result cache).
+func (pp *PlanProfile) SpanOf(p *relalg.Plan) *obs.Span { return pp.spans[p] }
+
+// displayNanos returns the inclusive wall time to display for a node:
+// inclusive spans stand as recorded, self-time spans (fused pipeline
+// stages) add their children back, and unexecuted nodes contribute their
+// children's time (zero when the whole subtree was skipped).
+func (pp *PlanProfile) displayNanos(p *relalg.Plan) int64 {
+	if p == nil {
+		return 0
+	}
+	sp := pp.spans[p]
+	if sp != nil && !sp.Self {
+		return sp.Nanos
+	}
+	kids := pp.displayNanos(p.Left) + pp.displayNanos(p.Right)
+	if sp != nil {
+		return sp.Nanos + kids
+	}
+	return kids
+}
+
+// Format renders the EXPLAIN ANALYZE tree: the physical plan annotated per
+// node with the optimizer's estimated cardinality against the actual row
+// count (and their q-error — the paper's estimation error, made visible per
+// query), plus batches and cumulative wall time from the execution profile.
+// stats is the RunStats of the same execution. Span times of fused parallel
+// pipelines are summed across workers (CPU time, not wall time); the header
+// notes the parallelism.
+func (pp *PlanProfile) Format(q *relalg.Query, plan *relalg.Plan, stats *RunStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE")
+	if pp.workers > 1 {
+		fmt.Fprintf(&b, " (parallelism=%d, operator times are summed across workers)", pp.workers)
+	}
+	b.WriteByte('\n')
+	if pp.Agg != nil && (pp.Agg.Batches > 0 || pp.Agg.Nanos > 0) {
+		nanos := pp.Agg.Nanos
+		if pp.Agg.Self {
+			nanos += pp.displayNanos(plan)
+		}
+		fmt.Fprintf(&b, "HashAggregate  [rows=%d batches=%d time=%v]\n",
+			pp.Agg.Rows, pp.Agg.Batches, time.Duration(nanos).Round(time.Microsecond))
+	}
+	pp.format(q, plan, stats, &b, 0)
+	return b.String()
+}
+
+func (pp *PlanProfile) format(q *relalg.Query, p *relalg.Plan, stats *RunStats, b *strings.Builder, depth int) {
+	if p == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	switch p.Log {
+	case relalg.LogScan:
+		name := "?"
+		if q != nil && p.Rel < len(q.Rels) {
+			name = q.Rels[p.Rel].Alias
+		}
+		if p.Phy == relalg.PhyIndexScan {
+			fmt.Fprintf(b, "IndexScan %s key=%s", name, q.ColString(p.IdxCol))
+		} else {
+			fmt.Fprintf(b, "TableScan %s", name)
+		}
+	case relalg.LogEnforce:
+		fmt.Fprintf(b, "Sort %s", p.Prop)
+	default:
+		op := map[relalg.PhyOp]string{
+			relalg.PhyHashJoin:    "HashJoin",
+			relalg.PhyMergeJoin:   "MergeJoin",
+			relalg.PhyIndexNLJoin: "IndexNLJoin",
+		}[p.Phy]
+		pred := ""
+		if q != nil && p.Pred < len(q.Joins) {
+			jp := q.Joins[p.Pred]
+			pred = fmt.Sprintf(" on %s=%s", q.ColString(jp.L), q.ColString(jp.R))
+		}
+		fmt.Fprintf(b, "%s%s", op, pred)
+	}
+
+	fmt.Fprintf(b, "  [est=%.1f", p.Card)
+	if act, ok := stats.Card(p.Expr); ok && p.Log != relalg.LogEnforce {
+		fmt.Fprintf(b, " act=%d qerr=%.2f", act, qError(p.Card, act))
+	} else {
+		fmt.Fprintf(b, " act=-")
+	}
+	if sp := pp.spans[p]; sp != nil {
+		fmt.Fprintf(b, " | rows=%d batches=%d time=%v]",
+			sp.Rows, sp.Batches, time.Duration(pp.displayNanos(p)).Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(b, " | not executed (cached)]")
+	}
+	b.WriteByte('\n')
+	pp.format(q, p.Left, stats, b, depth+1)
+	pp.format(q, p.Right, stats, b, depth+1)
+}
+
+// qError is the symmetric cardinality estimation error max(act/est,
+// est/act), floored at one row on both sides — 1.0 means a perfect
+// estimate.
+func qError(est float64, act int64) float64 {
+	a := float64(act)
+	if a < 1 {
+		a = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	if a > est {
+		return a / est
+	}
+	return est / a
+}
+
+// profVec is the serial profiling shim: it times Open/Next/Close around its
+// input (inclusive time — the clock runs across the child's work) and
+// counts emitted batches and live rows.
+type profVec struct {
+	in VecIterator
+	sp *obs.Span
+}
+
+func (p *profVec) Open() error {
+	t0 := time.Now()
+	err := p.in.Open()
+	p.sp.Record(0, 0, time.Since(t0))
+	return err
+}
+
+func (p *profVec) Next() (*Batch, error) {
+	t0 := time.Now()
+	b, err := p.in.Next()
+	if b != nil {
+		p.sp.Record(1, int64(b.Len()), time.Since(t0))
+	} else {
+		p.sp.Record(0, 0, time.Since(t0))
+	}
+	return b, err
+}
+
+func (p *profVec) Close() error {
+	t0 := time.Now()
+	err := p.in.Close()
+	p.sp.Record(0, 0, time.Since(t0))
+	return err
+}
+
+// drainCols forwards the materializing fast path through the shim — wrapping
+// must not demote a parallel drain to the batch stream. The whole drain is
+// one timed observation: one logical batch carrying every live row.
+func (p *profVec) drainCols() (colData, error) {
+	t0 := time.Now()
+	d, err := drainVecCols(p.in)
+	p.sp.Record(1, int64(d.n), time.Since(t0))
+	return d, err
+}
+
+// pipeProf carries the fused pipeline's profile spans: the scan, one span
+// per probe stage (in probe order, matching parallelPipelineOp.stages), and
+// the terminal (the fused aggregation; nil in collect mode, where terminal
+// time folds into the last stage). All are self-time spans filled from
+// per-worker stage clocks, merged once after the workers join.
+type pipeProf struct {
+	scan   *obs.Span
+	stages []*obs.Span
+	term   *obs.Span
+}
+
+// stageClock is one pipeline worker's private time-attribution register:
+// slot 0 is the scan, slot i+1 probe stage i, slot len(stages)+1 the
+// terminal sink. Exactly one slot accumulates at any instant; transitions
+// cost one clock read. batches counts chunk arrivals per slot.
+type stageClock struct {
+	times   []int64
+	batches []int64
+	cur     int
+	last    time.Time
+}
+
+func newStageClock(slots int) *stageClock {
+	return &stageClock{times: make([]int64, slots), batches: make([]int64, slots)}
+}
+
+// to closes the current attribution segment and switches to slot.
+func (c *stageClock) to(slot int) {
+	now := time.Now()
+	c.times[c.cur] += now.Sub(c.last).Nanoseconds()
+	c.cur = slot
+	c.last = now
+}

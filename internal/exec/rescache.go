@@ -324,7 +324,10 @@ func (c *Compiler) applyCacheDecision(d *cacheDecision, p *relalg.Plan, stats *R
 		return NewVecScan(cols, d.entry.N, ScanFilter{}), schema, nil
 	}
 
-	in, schema, err := c.compileVec(p, stats)
+	// Compile the missed subtree via compileVecNode: the profiling shim for
+	// p (if any) is added by the compileVec wrapper around THIS call, so
+	// going through compileVec here would double-register p's span.
+	in, schema, err := c.compileVecNode(p, stats)
 	if err != nil {
 		return nil, nil, err
 	}

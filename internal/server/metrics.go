@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rescache"
 )
 
@@ -29,6 +32,11 @@ type EntryMetrics struct {
 
 	PlanVersion   uint64 // current plan generation (1 = initial plan)
 	PlanSignature string // canonical structure of the current plan
+
+	// EstErr is the entry's latest cardinality estimation error: the mean
+	// |ln(actual/estimated)| over the last executed plan's counted nodes.
+	// It trends to zero as feedback converges and spikes on data drift.
+	EstErr float64
 }
 
 // Metrics is a consistent-enough snapshot of the server's counters: entry
@@ -74,7 +82,31 @@ type Metrics struct {
 	ResultCacheEnabled bool
 	ResultCache        rescache.Metrics
 
+	// QueueWaits counts executions that measurably waited on the admission
+	// semaphore; QueueWait, ExecLatency and RepairLatency digest the
+	// always-on latency histograms (admission wait and execution wall time
+	// per execution, repair wall time per incremental repair).
+	QueueWaits    int64
+	QueueWait     obs.HistSummary
+	ExecLatency   obs.HistSummary
+	RepairLatency obs.HistSummary
+
+	// Retired is the aggregate history of evicted entries. It is already
+	// included in the totals above; it is broken out so the totals can be
+	// reconciled against the per-entry lines, which cover live entries only.
+	Retired RetiredMetrics
+
 	PerEntry []EntryMetrics // in entry creation order
+}
+
+// RetiredMetrics is the evicted-entry history folded into Metrics totals.
+type RetiredMetrics struct {
+	Execs       int64
+	FullOpts    int64
+	FullOptTime time.Duration
+	Repairs     int64
+	RepairTime  time.Duration
+	Converged   int64
 }
 
 // Metrics snapshots the server's counters.
@@ -102,15 +134,28 @@ func (s *Server) Metrics() Metrics {
 		ResultCacheEnabled: s.resCache.Enabled(),
 		ResultCache:        s.resCache.Metrics(),
 
-		// Start from the retired totals so evicted entries' history stays
-		// in the aggregate counters (their per-entry lines are gone).
-		Execs:       s.retired.execs.Load(),
-		FullOpts:    s.retired.fullOpts.Load(),
-		FullOptTime: time.Duration(s.retired.fullOptTime.Load()),
-		Repairs:     s.retired.repairs.Load(),
-		RepairTime:  time.Duration(s.retired.repairTime.Load()),
-		Converged:   s.retired.converged.Load(),
+		QueueWaits:    s.queueWaits.Load(),
+		QueueWait:     s.queueH.Summary(),
+		ExecLatency:   s.latencyH.Summary(),
+		RepairLatency: s.repairH.Summary(),
+
+		Retired: RetiredMetrics{
+			Execs:       s.retired.execs.Load(),
+			FullOpts:    s.retired.fullOpts.Load(),
+			FullOptTime: time.Duration(s.retired.fullOptTime.Load()),
+			Repairs:     s.retired.repairs.Load(),
+			RepairTime:  time.Duration(s.retired.repairTime.Load()),
+			Converged:   s.retired.converged.Load(),
+		},
 	}
+	// Start the totals from the retired history so evicted entries' past
+	// stays in the aggregate counters (their per-entry lines are gone).
+	m.Execs = m.Retired.Execs
+	m.FullOpts = m.Retired.FullOpts
+	m.FullOptTime = m.Retired.FullOptTime
+	m.Repairs = m.Retired.Repairs
+	m.RepairTime = m.Retired.RepairTime
+	m.Converged = m.Retired.Converged
 	for _, e := range entries {
 		em := e.snapshot()
 		m.Execs += em.Execs
@@ -126,11 +171,12 @@ func (s *Server) Metrics() Metrics {
 
 func (e *planEntry) snapshot() EntryMetrics {
 	em := EntryMetrics{
-		Key:   e.key,
-		Hash:  keyHash(e.key),
-		Query: e.name,
-		Hits:  e.hits.Load(),
-		Execs: e.execs.Load(),
+		Key:    e.key,
+		Hash:   e.hash,
+		Query:  e.name,
+		Hits:   e.hits.Load(),
+		Execs:  e.execs.Load(),
+		EstErr: math.Float64frombits(e.estErr.Load()),
 	}
 	if snap := e.cur.Load(); snap != nil {
 		em.PlanVersion = snap.version
@@ -156,6 +202,14 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "full-opts=%d (%v) repairs=%d (%v) converged-execs=%d\n",
 		m.FullOpts, m.FullOptTime.Round(time.Microsecond),
 		m.Repairs, m.RepairTime.Round(time.Microsecond), m.Converged)
+	fmt.Fprintf(&b, "retired: execs=%d full-opts=%d (%v) repairs=%d (%v) converged=%d\n",
+		m.Retired.Execs, m.Retired.FullOpts, m.Retired.FullOptTime.Round(time.Microsecond),
+		m.Retired.Repairs, m.Retired.RepairTime.Round(time.Microsecond), m.Retired.Converged)
+	fmt.Fprintf(&b, "latency: %s\n", m.ExecLatency)
+	fmt.Fprintf(&b, "queue-wait: waited=%d %s\n", m.QueueWaits, m.QueueWait)
+	if m.RepairLatency.Count > 0 {
+		fmt.Fprintf(&b, "repair-latency: %s\n", m.RepairLatency)
+	}
 	fmt.Fprintf(&b, "stats-plane: keys=%d warm-seeds=%d clock=%d decays=%d stale=%d reclaimed=%d\n",
 		m.StatsKeys, m.WarmSeeds, m.StatsClock, m.StatsDecays, m.StatsStale, m.StatsReclaimed)
 	if m.ResultCacheEnabled {
@@ -165,11 +219,24 @@ func (m Metrics) String() string {
 			rc.Evictions, rc.Invalidations, rc.Reclaimed)
 	}
 	for _, e := range m.PerEntry {
-		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d warm=%d plan=v%d\n",
+		fmt.Fprintf(&b, "  [%s] %-8s hits=%-3d execs=%-4d full-opt=%d/%v repairs=%d/%v converged=%d touched=%d warm=%d est-err=%.3f plan=v%d\n",
 			e.Hash, e.Query, e.Hits, e.Execs,
 			e.FullOpts, e.FullOptTime.Round(time.Microsecond),
 			e.Repairs, e.RepairTime.Round(time.Microsecond),
-			e.Converged, e.Touched, e.WarmSeeds, e.PlanVersion)
+			e.Converged, e.Touched, e.WarmSeeds, e.EstErr, e.PlanVersion)
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the snapshot for machine consumption (reproserve
+// -metrics-json). Durations marshal as nanosecond integers like any
+// time.Duration; the two aggregate optimizer times additionally carry
+// human-readable *String twins so the JSON is skimmable as-is.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	type alias Metrics // method-free view: avoids MarshalJSON recursion
+	return json.Marshal(struct {
+		alias
+		FullOptTimeString string
+		RepairTimeString  string
+	}{alias(m), m.FullOptTime.String(), m.RepairTime.String()})
 }

@@ -25,8 +25,12 @@ import (
 //	rows    <stmt>            execute; stream result rows, then the count
 //	run     <sql...>          one-shot prepare (anonymous) + exec
 //	explain <stmt>            print the current cached plan
+//	analyze <stmt>            execute with per-operator profiling; print the
+//	                          EXPLAIN ANALYZE tree, then the row count
 //	names                     list the registered named queries
 //	metrics                   print the server metrics report
+//	trace                     print the lifecycle event ring (needs
+//	                          Options.TraceEvents > 0) and slow-query dumps
 //	quit                      close the session
 type protoSession struct {
 	sess  *Session
@@ -47,7 +51,7 @@ func (s *Server) ServeConn(rw io.ReadWriter) error {
 		stmts: map[string]*Stmt{},
 		w:     bufio.NewWriter(rw),
 	}
-	ps.reply("ok repro serve session=%d (commands: prepare query exec rows run explain names metrics quit)", ps.sess.ID)
+	ps.reply("ok repro serve session=%d (commands: prepare query exec rows run explain analyze names metrics trace quit)", ps.sess.ID)
 	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -175,6 +179,39 @@ func (ps *protoSession) handle(s *Server, line string) bool {
 			ps.line("| %s", l)
 		}
 		ps.reply("ok cost=%.3f version=%d", snap.plan.Cost, snap.version)
+
+	case "analyze":
+		st, ok := ps.stmts[rest]
+		if !ok {
+			ps.reply("err unknown statement %q (prepare it first)", rest)
+			return true
+		}
+		res, analyzed, err := st.ExplainAnalyze()
+		if err != nil {
+			ps.reply("err %v", err)
+			return true
+		}
+		for _, l := range strings.Split(strings.TrimRight(analyzed, "\n"), "\n") {
+			ps.line("| %s", l)
+		}
+		ps.reply("ok rows=%d version=%d repaired=%t elapsed=%v",
+			len(res.Rows), res.PlanVersion, res.Repaired, res.Elapsed.Round(time.Microsecond))
+
+	case "trace":
+		if !s.trace.Enabled() {
+			ps.reply("err tracing disabled (set Options.TraceEvents / reproserve -trace-events)")
+			return true
+		}
+		for _, ev := range s.trace.Events() {
+			ps.line("| %s", ev.String())
+		}
+		dumps := s.SlowTraces()
+		for _, dump := range dumps {
+			for _, l := range strings.Split(strings.TrimRight(dump, "\n"), "\n") {
+				ps.line("| %s", l)
+			}
+		}
+		ps.reply("ok events=%d slow=%d", len(s.trace.Events()), len(dumps))
 
 	case "names":
 		names := make([]string, 0, len(s.opts.Named))

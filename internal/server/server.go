@@ -47,7 +47,9 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +60,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/fbstore"
+	"repro/internal/obs"
 	"repro/internal/relalg"
 	"repro/internal/rescache"
 	"repro/internal/sqlmini"
@@ -144,6 +147,29 @@ type Options struct {
 	// through Session.PrepareNamed and the line protocol's "query"
 	// command (e.g. the TPC-H workload).
 	Named map[string]*relalg.Query
+
+	// TraceEvents enables query-lifecycle tracing: a ring buffer of the
+	// last N structured events (prepare hit/miss with warm-seed counts,
+	// admission-queue waits, executions, incremental repairs with
+	// touched-entry counts and plan-version bumps, result-cache activity),
+	// readable via Tracer(), the wire protocol's "trace" command and the
+	// debug handler's /traces endpoint. 0 disables tracing entirely — the
+	// executor and feedback paths then carry no event instrumentation.
+	// The latency/repair/queue-wait histograms in Metrics are independent
+	// of this switch and always on (they cost one atomic add per
+	// execution).
+	TraceEvents int
+	// TraceSlowQuery dumps any execution slower than this threshold: the
+	// query's lifecycle events plus its full per-operator EXPLAIN ANALYZE
+	// profile, retained in a ring readable via SlowTraces() and /traces.
+	// A nonzero threshold makes every execution collect a per-operator
+	// profile (two clock reads per operator batch) so the dump is complete
+	// when the threshold trips. 0 disables.
+	TraceSlowQuery time.Duration
+	// TraceOnSlow, when set, additionally receives each slow-query dump as
+	// it is produced (e.g. to log it). Called synchronously on the
+	// executing goroutine; keep it cheap.
+	TraceOnSlow func(dump string)
 }
 
 // Server is the multi-session query service. Create one with New, open
@@ -174,6 +200,17 @@ type Server struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	warmSeeds atomic.Int64 // factors seeded from the store across all inits
+
+	// The observability plane. The three histograms are always on (one
+	// atomic add per execution); trace and slow are nil unless the
+	// corresponding Trace* option enables them — emission through a nil
+	// tracer/ring is a no-op.
+	trace      *obs.Tracer
+	slow       *obs.TextRing
+	latencyH   *obs.Histogram // execution wall time
+	repairH    *obs.Histogram // incremental repair time
+	queueH     *obs.Histogram // admission-queue wait
+	queueWaits atomic.Int64   // executions that waited > 0 on admission
 }
 
 // New builds a server over the catalog. The catalog must not be mutated
@@ -212,14 +249,24 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 			StaleAfter: opts.ResultCacheStaleAfter,
 		})
 	}
-	return &Server{
+	srv := &Server{
 		cat:      cat,
 		opts:     opts,
 		stats:    stats,
 		resCache: rc,
 		sem:      make(chan struct{}, opts.MaxConcurrent),
 		entries:  map[string]*planEntry{},
-	}, nil
+		latencyH: obs.NewHistogram(),
+		repairH:  obs.NewHistogram(),
+		queueH:   obs.NewHistogram(),
+	}
+	if opts.TraceEvents > 0 {
+		srv.trace = obs.NewTracer(opts.TraceEvents)
+	}
+	if opts.TraceSlowQuery > 0 {
+		srv.slow = obs.NewTextRing(32)
+	}
+	return srv, nil
 }
 
 // Catalog returns the catalog the server executes over.
@@ -231,6 +278,15 @@ func (s *Server) Stats() *fbstore.StatsStore { return s.stats }
 // ResultCache returns the server-wide semantic result cache, or nil when
 // result caching is disabled.
 func (s *Server) ResultCache() *rescache.Cache { return s.resCache }
+
+// Tracer returns the lifecycle event ring, or nil when Options.TraceEvents
+// is 0. The returned tracer is safe for concurrent reads (Events, Since)
+// alongside serving.
+func (s *Server) Tracer() *obs.Tracer { return s.trace }
+
+// SlowTraces returns the retained slow-query dumps, oldest first (empty
+// unless Options.TraceSlowQuery is set and a query has tripped it).
+func (s *Server) SlowTraces() []string { return s.slow.All() }
 
 // Session opens a new session. Sessions are cheap handles: all heavy state
 // (plans, optimizers, statistics) lives in the shared cache so that every
@@ -301,6 +357,7 @@ func (sess *Session) cachedStmt(key string) (*Stmt, bool) {
 	e.lastUsed.Store(now.UnixNano())
 	sess.srv.hits.Add(1)
 	e.hits.Add(1)
+	sess.srv.trace.Emit(obs.Event{Kind: obs.KindPrepare, Query: e.hash, Note: "hit"})
 	return &Stmt{sess: sess, entry: e, Hit: true}, true
 }
 
@@ -398,7 +455,7 @@ func (s *Server) entry(q *relalg.Query) (*planEntry, bool, error) {
 		} else {
 			// An expired cur is removed by evictLocked's TTL sweep.
 			victims = s.evictLocked(now)
-			e = &planEntry{key: key, q: q, name: q.Name}
+			e = &planEntry{key: key, hash: keyHash(key), q: q, name: q.Name}
 			e.lastUsed.Store(now.UnixNano())
 			s.entries[key] = e
 			s.order = append(s.order, key)
@@ -415,6 +472,16 @@ func (s *Server) entry(q *relalg.Query) (*planEntry, bool, error) {
 	}
 	if err := e.ensureInit(s); err != nil {
 		return nil, hit, err
+	}
+	if s.trace.Enabled() {
+		ev := obs.Event{Kind: obs.KindPrepare, Query: e.hash, Note: "hit"}
+		if !hit {
+			// warmSeeds is written once inside ensureInit (under e.mu,
+			// which this goroutine has since acquired and released), so
+			// the read here is ordered after the write.
+			ev.Note, ev.A = "miss", int64(e.warmSeeds)
+		}
+		s.trace.Emit(ev)
 	}
 	return e, hit, nil
 }
@@ -513,8 +580,16 @@ func (s *Server) retire(victims []*planEntry) {
 // metrics. See the package comment for the locking discipline.
 type planEntry struct {
 	key  string
+	hash string // short digest of key; the trace label for this entry
 	q    *relalg.Query
 	name string
+
+	// estErr is the entry's latest cardinality estimation error — the mean
+	// |ln(actual/estimated)| over the executed plan's counted nodes,
+	// recomputed from every execution's feedback — stored as Float64bits so
+	// metrics scrapes read it lock-free. It trends to zero as the entry's
+	// statistics converge and spikes when the data drifts.
+	estErr atomic.Uint64
 
 	// cur is the published {plan, version} pair, swapped as one pointer on
 	// every repair so executions always report the generation they
@@ -645,34 +720,88 @@ func (e *planEntry) cacheCands(s *Server, plan *relalg.Plan) []exec.CacheCandida
 	return exec.BuildCacheCandidates(e.q, plan, e.fper, s.opts.ResultCacheMinCost)
 }
 
+// feedbackResult summarizes one feedback application for the caller's
+// metrics and trace emission.
+type feedbackResult struct {
+	repaired bool
+	dur      time.Duration // repair time (zero unless repaired)
+	touched  int64         // optimizer entries the repair touched
+	version  uint64        // plan version published by the repair
+	estErr   float64       // this execution's estimation error
+}
+
+// planEstErr measures how far the executed plan's cardinality estimates
+// were from the observed truth: the mean |ln(actual/estimated)| over the
+// plan's counted nodes (both sides floored at one row). 0 is a perfect
+// plan; ln 2 ≈ 0.69 means estimates are off by 2x on average.
+func planEstErr(plan *relalg.Plan, cards map[relalg.RelSet]int64) float64 {
+	var sum float64
+	var n int
+	var walk func(p *relalg.Plan)
+	walk = func(p *relalg.Plan) {
+		if p == nil {
+			return
+		}
+		if p.Log != relalg.LogEnforce {
+			if act, ok := cards[p.Expr]; ok {
+				a, est := float64(act), p.Card
+				if a < 1 {
+					a = 1
+				}
+				if est < 1 {
+					est = 1
+				}
+				sum += math.Abs(math.Log(a / est))
+				n++
+			}
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(plan)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // feedback folds one execution's observed cardinalities into the shared
 // stats store and incrementally repairs the cached plan when any factor
 // moved beyond the feedback threshold. This is the §4 view-maintenance loop
 // running as a service: UpdateCardFactor stages the deltas, Reoptimize
 // repairs only the affected region, and the repaired plan is published
-// atomically for every session.
-func (e *planEntry) feedback(s *Server, cards map[relalg.RelSet]int64) (bool, error) {
+// atomically for every session. snap is the plan generation that executed —
+// its estimates, against cards, yield the entry's estimation-error gauge.
+func (e *planEntry) feedback(s *Server, snap *planVersion, cards map[relalg.RelSet]int64) (feedbackResult, error) {
+	var fb feedbackResult
+	fb.estErr = planEstErr(snap.plan, cards)
+	e.estErr.Store(math.Float64bits(fb.estErr))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	changed := e.cal.Observe(cards, e.model)
 	if len(changed) == 0 {
 		e.converged++
-		return false, nil
+		return fb, nil
 	}
 	for set, f := range changed {
 		e.opt.UpdateCardFactor(set, f)
 	}
 	plan, err := e.opt.Reoptimize()
 	if err != nil {
-		return false, err
+		return fb, err
 	}
 	met := e.opt.Metrics()
 	e.repairs++
 	e.repairTime += met.Elapsed
 	e.touched += int64(met.TouchedEntries)
-	e.cur.Store(&planVersion{plan: plan, version: e.cur.Load().version + 1,
-		cands: e.cacheCands(s, plan)})
-	return true, nil
+	next := &planVersion{plan: plan, version: e.cur.Load().version + 1,
+		cands: e.cacheCands(s, plan)}
+	e.cur.Store(next)
+	fb.repaired = true
+	fb.dur = met.Elapsed
+	fb.touched = int64(met.TouchedEntries)
+	fb.version = next.version
+	return fb, nil
 }
 
 // Stmt is a prepared statement: a session's handle on a shared cache entry.
@@ -718,39 +847,145 @@ type Result struct {
 // statement are safe and run in parallel up to the admission bound; the
 // repair they trigger is serialized per entry.
 func (st *Stmt) Exec() (*Result, error) {
+	res, _, err := st.exec(nil)
+	return res, err
+}
+
+// ExplainAnalyze executes the statement once with per-operator profiling on
+// and returns the annotated plan tree alongside the result: every operator's
+// batch/row counts and wall time, with estimated-vs-actual cardinality and
+// q-error per node. The profiled execution is a real one — its rows are
+// returned and its feedback lands like any other execution's.
+func (st *Stmt) ExplainAnalyze() (*Result, string, error) {
+	return st.exec(exec.NewPlanProfile())
+}
+
+// exec is the shared execution path. A non-nil prof collects the
+// per-operator profile and the annotated tree is returned as analyzed; a
+// nonzero slow-query threshold profiles every execution so the dump is
+// complete when the threshold trips.
+func (st *Stmt) exec(prof *exec.PlanProfile) (res *Result, analyzed string, err error) {
 	srv := st.sess.srv
+	enqueued := time.Now()
 	srv.sem <- struct{}{}
 	defer func() { <-srv.sem }()
+	wait := time.Since(enqueued)
+	srv.queueH.Observe(wait)
+	if wait > 0 {
+		srv.queueWaits.Add(1)
+	}
 	if srv.closed.Load() {
-		return nil, fmt.Errorf("server: shutting down")
+		return nil, "", fmt.Errorf("server: shutting down")
 	}
 
 	e := st.entry
 	e.lastUsed.Store(time.Now().UnixNano())
 	snap := e.cur.Load()
 
+	analyze := prof != nil
+	if prof == nil && srv.opts.TraceSlowQuery > 0 {
+		prof = exec.NewPlanProfile()
+	}
+	traceFrom := srv.trace.Seq()
+	srv.trace.Emit(obs.Event{Kind: obs.KindQueueWait, Query: e.hash, Dur: wait})
+	var rc0 rescache.Metrics
+	if srv.trace.Enabled() && srv.resCache.Enabled() {
+		rc0 = srv.resCache.Metrics()
+	}
+
 	start := time.Now()
 	comp := &exec.Compiler{
 		Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism,
-		Cache: srv.resCache, CacheCands: snap.cands,
+		Cache: srv.resCache, CacheCands: snap.cands, Prof: prof,
 	}
 	v, stats, err := comp.CompileVec(snap.plan)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	rows, err := exec.DrainVec(v)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	elapsed := time.Since(start)
+	srv.latencyH.Observe(elapsed)
 	e.execs.Add(1)
 	st.sess.execs.Add(1)
 
-	repaired, err := e.feedback(srv, stats.Snapshot())
-	if err != nil {
-		return nil, err
+	if srv.trace.Enabled() && srv.resCache.Enabled() {
+		// Result-cache activity is server-wide, so under concurrency the
+		// delta may fold in a neighbor's probes — good enough for a trace.
+		rc1 := srv.resCache.Metrics()
+		for _, d := range []struct {
+			note string
+			n    int64
+		}{
+			{"probe-hit", rc1.Hits - rc0.Hits},
+			{"spool", rc1.Stores - rc0.Stores},
+			{"invalidate", rc1.Invalidations - rc0.Invalidations},
+		} {
+			if d.n > 0 {
+				srv.trace.Emit(obs.Event{Kind: obs.KindResultCache, Query: e.hash, Note: d.note, A: d.n})
+			}
+		}
 	}
-	return &Result{Rows: rows, PlanVersion: snap.version, Repaired: repaired, Elapsed: elapsed}, nil
+
+	fb, err := e.feedback(srv, snap, stats.Snapshot())
+	if err != nil {
+		return nil, "", err
+	}
+	if fb.repaired {
+		srv.repairH.Observe(fb.dur)
+		srv.trace.Emit(obs.Event{Kind: obs.KindRepair, Query: e.hash,
+			A: fb.touched, B: int64(fb.version), Dur: fb.dur})
+	}
+	note := ""
+	if fb.repaired {
+		note = "repaired"
+	}
+	srv.trace.Emit(obs.Event{Kind: obs.KindExec, Query: e.hash,
+		A: int64(len(rows)), B: int64(snap.version), Dur: elapsed, Note: note})
+
+	slow := srv.opts.TraceSlowQuery > 0 && elapsed >= srv.opts.TraceSlowQuery
+	if analyze || slow {
+		analyzed = prof.Format(e.q, snap.plan, stats)
+	}
+	if slow {
+		srv.trace.Emit(obs.Event{Kind: obs.KindSlowQuery, Query: e.hash,
+			Dur: elapsed, Note: srv.opts.TraceSlowQuery.String()})
+		dump := srv.slowDump(e, snap, elapsed, analyzed, traceFrom)
+		srv.slow.Add(dump)
+		if srv.opts.TraceOnSlow != nil {
+			srv.opts.TraceOnSlow(dump)
+		}
+	}
+	if !analyze {
+		analyzed = ""
+	}
+	res = &Result{Rows: rows, PlanVersion: snap.version, Repaired: fb.repaired, Elapsed: elapsed}
+	return res, analyzed, nil
+}
+
+// slowDump renders one slow execution: a header, the query's lifecycle
+// events since it entered admission, and the per-operator profile.
+func (s *Server) slowDump(e *planEntry, snap *planVersion, elapsed time.Duration, analyzed string, fromSeq uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow query [%s] %s: %v over threshold %v, plan v%d\n",
+		e.hash, e.name, elapsed.Round(time.Microsecond), s.opts.TraceSlowQuery, snap.version)
+	events := 0
+	for _, ev := range s.trace.Since(fromSeq) {
+		if ev.Query != e.hash {
+			continue
+		}
+		if events == 0 {
+			b.WriteString("trace:\n")
+		}
+		events++
+		fmt.Fprintf(&b, "  %s\n", ev.String())
+	}
+	if analyzed != "" {
+		b.WriteString(analyzed)
+	}
+	return b.String()
 }
 
 // Query is the one-shot convenience: Prepare + Exec.

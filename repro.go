@@ -30,6 +30,9 @@
 //     optimizer, so every execution's feedback incrementally repairs the
 //     cached plan for all sessions (surfaced here as NewServer /
 //     Session / Prepare / Exec, and as a wire protocol by cmd/reproserve);
+//   - internal/obs — the observability primitives: nil-safe per-operator
+//     execution spans, the query-lifecycle event ring, and wait-free
+//     latency histograms with Prometheus text exposition;
 //   - internal/tpch, internal/linearroad — the paper's workloads;
 //   - internal/deltalog — a generic counted delta-dataflow engine used as a
 //     differential-testing oracle for the optimizer;
@@ -109,6 +112,33 @@
 // with the cache on or off. Hit/miss/store/eviction/invalidation counters
 // surface in ServerMetrics; cmd/reproserve wires the budget to
 // -result-cache-mb.
+//
+// # Observability
+//
+// The serving layer is observable at three depths, all built on
+// internal/obs and all provably free when off (instrumentation hangs off
+// nil-able handles the executor never touches when disabled):
+//
+//   - Per-operator profiles. Stmt.ExplainAnalyze runs a real execution —
+//     its feedback repairs the cached plan like any other — while
+//     attributing time, batch and row counts to every plan operator, and
+//     renders the plan annotated with estimated-vs-actual cardinality and
+//     q-error per node. cmd/optcli -analyze and the protocol's "analyze"
+//     command expose the same tree.
+//   - Lifecycle tracing. ServerOptions.TraceEvents keeps the last N
+//     structured events (prepare hit/miss, admission queue wait, exec,
+//     incremental repair, result-cache probe/spool/invalidate) in a
+//     bounded ring readable via Server.Tracer. ServerOptions.TraceSlowQuery
+//     profiles every execution and, when one exceeds the threshold, dumps
+//     its event trail plus the full EXPLAIN ANALYZE tree to
+//     Server.SlowTraces and the optional TraceOnSlow callback.
+//   - A scrapeable metrics plane. Execution latency, admission queue wait
+//     and repair latency feed wait-free histograms that are always on;
+//     ServerMetrics carries their count/mean/p50/p95/p99 summaries (and is
+//     json.Marshaler), and Server.DebugHandler serves /metrics (Prometheus
+//     text format, including per-entry estimation-error gauges),
+//     /metrics.json, /traces and /debug/pprof/*. cmd/reproserve wires this
+//     to -http, -trace-events, -slow-query and -metrics-json.
 package repro
 
 import (
