@@ -14,6 +14,7 @@
 //	reprobench -fig layouts     # columnar vs row batch layout, rows/sec
 //	reprobench -fig rescache    # semantic result cache, spool/probe vs uncached
 //	reprobench -fig drift       # drift adaptation trajectory via the event plane
+//	reprobench -fig memory      # memory-bounded execution: unbounded vs budgeted spill
 //	reprobench -columnar=false  # run every figure through the row layout
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation,layouts,rescache,drift); empty = all")
+	fig := flag.String("fig", "", "figure to run (4,5,6,7,8,9,10,small,ablation,layouts,rescache,drift,memory); empty = all")
 	table := flag.String("table", "", "table to run (3); empty = all")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -90,9 +91,12 @@ func main() {
 	if all || *fig == "drift" {
 		show(env.Drift(10))
 	}
+	if all || *fig == "memory" {
+		show(env.MemoryFigure())
+	}
 	if !all && *fig != "" {
 		switch *fig {
-		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation", "layouts", "rescache", "drift":
+		case "4", "5", "6", "7", "8", "9", "10", "small", "ablation", "layouts", "rescache", "drift", "memory":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)

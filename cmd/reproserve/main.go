@@ -30,9 +30,23 @@
 //     of O(history).
 //   - -stats-stale-after N stops warm-starting from fingerprints unseen for
 //     N observations and reclaims them entirely at age 2N.
+//   - -stats-snapshot-interval D additionally saves the snapshot every D
+//     while serving (same atomic rotation), so a crash loses at most D of
+//     learning instead of everything since boot. Requires -stats-file.
 //
 // The final metrics flush includes the stats-plane ageing counters (clock,
 // decays, stale, reclaimed), so drift behavior is observable in production.
+//
+// Memory bounds:
+//
+//   - -mem-budget-mb N bounds each query's tracked execution memory to
+//     N MiB: hash joins and aggregations beyond the budget spill to disk
+//     under grace hashing (results and cardinality feedback are identical
+//     either way). 0 executes unbounded; peak memory is tracked regardless
+//     and digested in /metrics as repro_peak_memory_bytes p50/p95/p99.
+//   - -mem-ceiling-mb N admission-gates executions so the sum of admitted
+//     queries' budgets never exceeds N MiB; waits surface in the queue-wait
+//     histogram and trace as reason=mem. Requires -mem-budget-mb.
 //
 // -result-cache-mb N gives the semantic result cache an N MiB byte budget
 // (0 disables it, the default). With the cache on, sessions share the
@@ -101,6 +115,9 @@ func main() {
 	maxEntries := flag.Int("max-entries", 0, "plan cache entry bound (LRU eviction); 0 is unbounded")
 	ttl := flag.Duration("ttl", 0, "plan cache idle expiry (e.g. 10m); 0 never expires")
 	statsFile := flag.String("stats-file", "", "statistics-plane snapshot path: loaded on boot when present, saved (atomic rotation) on graceful shutdown")
+	snapshotInterval := flag.Duration("stats-snapshot-interval", 0, "additionally save the statistics snapshot every interval while serving (e.g. 5m); 0 saves only at shutdown; requires -stats-file")
+	memBudgetMB := flag.Int64("mem-budget-mb", 0, "per-query execution memory budget in MiB (hash joins/aggregations spill to disk beyond it); 0 is unbounded")
+	memCeilingMB := flag.Int64("mem-ceiling-mb", 0, "admission ceiling on the sum of concurrently executing queries' memory budgets, in MiB; requires -mem-budget-mb; 0 disables")
 	halfLife := flag.Float64("stats-half-life", 0, "observation-decay half-life of the statistics plane, in logical observations; 0 keeps full history")
 	staleAfter := flag.Uint64("stats-stale-after", 0, "observations after which an unseen fingerprint stops warm-starting (reclaimed at twice this age); 0 keeps everything")
 	resultCacheMB := flag.Int64("result-cache-mb", 0, "semantic result cache byte budget in MiB, shared by all sessions (LRU eviction, data-version invalidation); 0 disables result caching")
@@ -126,16 +143,35 @@ func main() {
 		}
 	}
 
+	if *snapshotInterval > 0 && *statsFile == "" {
+		log.Fatal("reproserve: -stats-snapshot-interval requires -stats-file")
+	}
+	if *snapshotInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotInterval)
+			defer t.Stop()
+			for range t.C {
+				// SaveFile rotates atomically, so a scrape or crash mid-save
+				// always sees a complete snapshot.
+				if err := stats.SaveFile(*statsFile); err != nil {
+					fmt.Fprintf(os.Stderr, "reproserve: periodic stats snapshot: %v\n", err)
+				}
+			}
+		}()
+	}
+
 	cat := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42, Skew: *skew})
 	srv, err := repro.NewServer(cat, repro.ServerOptions{
-		Parallelism:   *parallelism,
-		MaxConcurrent: *maxConcurrent,
-		MaxEntries:    *maxEntries,
-		TTL:           *ttl,
-		Stats:         stats,
-		Dict:          tpch.Dict(),
-		Date:          tpch.Date,
-		Named:         tpch.Queries(),
+		Parallelism:     *parallelism,
+		MaxConcurrent:   *maxConcurrent,
+		MemBudgetBytes:  *memBudgetMB << 20,
+		MemCeilingBytes: *memCeilingMB << 20,
+		MaxEntries:      *maxEntries,
+		TTL:             *ttl,
+		Stats:           stats,
+		Dict:            tpch.Dict(),
+		Date:            tpch.Date,
+		Named:           tpch.Queries(),
 
 		ResultCacheBytes: *resultCacheMB << 20,
 

@@ -79,6 +79,12 @@ type Config struct {
 	// layout A/B switch, forwarded to exec.Compiler. Feedback
 	// cardinalities are identical either way.
 	DisableColumnar bool
+	// MemBudgetBytes bounds each slice execution's tracked memory,
+	// forwarded to exec.Compiler: hash joins and aggregations spill under
+	// grace hashing instead of exceeding it. Feedback cardinalities are
+	// byte-identical with spilling on or off, so the adaptive loop is
+	// unaffected by the budget choice. 0 executes unbounded.
+	MemBudgetBytes int64
 }
 
 // SliceResult reports one split-point round trip.
@@ -192,7 +198,8 @@ func (c *Controller) RunSlice(data func(rel int) [][]int64) (SliceResult, error)
 	// collect actual cardinalities.
 	start = time.Now()
 	comp := &exec.Compiler{Q: c.cfg.Query, Cat: c.cfg.Cat, Data: data,
-		Parallelism: c.cfg.Parallelism, DisableColumnar: c.cfg.DisableColumnar}
+		Parallelism: c.cfg.Parallelism, DisableColumnar: c.cfg.DisableColumnar,
+		MemBudgetBytes: c.cfg.MemBudgetBytes}
 	v, stats, err := comp.CompileVec(plan)
 	if err != nil {
 		return res, err

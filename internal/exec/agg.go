@@ -322,6 +322,15 @@ func (t *aggTable) newGroup(slot uint64, h uint64, r Row, cols []int) int {
 	return g
 }
 
+// approxBytes estimates the table's tracked footprint: the slot array plus
+// per-group hash, key, sum and count storage (and a nominal map allowance
+// per COUNT(DISTINCT) set). Monotone in n, so charging the delta after each
+// batch keeps the reservation current.
+func (t *aggTable) approxBytes() int64 {
+	per := int64(8 + t.gw*8 + t.sw*8 + 8 + t.dw*48)
+	return int64(t.mask+1)*4 + int64(t.n)*per
+}
+
 func (t *aggTable) grow() {
 	size := 2 * (t.mask + 1)
 	t.mask = size - 1
@@ -428,6 +437,7 @@ func (a *hashAggOp) Close() error { a.out = nil; return nil }
 type vecHashAggOp struct {
 	in    VecIterator
 	spec  AggSpecExec
+	mem   *MemTracker // nil = untracked; set by the compiler
 	out   colData
 	pos   int
 	batch Batch
@@ -446,25 +456,92 @@ func (a *vecHashAggOp) Open() error {
 	if err := a.in.Open(); err != nil {
 		return err
 	}
-	var scratch aggScratch
+	var (
+		scratch aggScratch
+		sp      *aggSpill
+		part    *spillPartitioner
+		charged int64
+	)
+	// COUNT(DISTINCT) state cannot round-trip through scalar partials, so
+	// such plans stay in memory (Force-charged; see spillagg.go).
+	spillable := a.mem.Bounded() && len(a.spec.CountDistinct) == 0
+	fail := func(err error) error {
+		if part != nil {
+			part.abort()
+		}
+		a.mem.Release(charged)
+		return err
+	}
 	for {
 		b, err := a.in.Next()
 		if err != nil {
-			return errors.Join(err, a.in.Close())
+			return fail(errors.Join(err, a.in.Close()))
 		}
 		if b == nil {
 			break
 		}
 		t.addBatch(b.Cols, b.N, b.Sel, &scratch)
+		if a.mem == nil {
+			continue
+		}
+		delta := t.approxBytes() - charged
+		if delta <= 0 {
+			continue
+		}
+		if !spillable {
+			a.mem.Force(delta)
+			charged += delta
+			continue
+		}
+		if a.mem.Reserve(delta) {
+			charged += delta
+			continue
+		}
+		// The table outgrew its reservation: dump partials to disk and
+		// restart in-memory pre-aggregation on the remaining input.
+		if sp == nil {
+			sp = newAggSpill(a.spec, a.mem)
+			if part, err = newSpillPartitioner(sp.pw, sp.keyOffs, 0); err != nil {
+				part = nil
+				return fail(errors.Join(err, a.in.Close()))
+			}
+		}
+		if err := sp.dump(t, part); err != nil {
+			return fail(errors.Join(err, a.in.Close()))
+		}
+		a.mem.Release(charged)
+		charged = 0
+		t = newAggTable(a.spec)
 	}
 	if err := a.in.Close(); err != nil {
-		return err
+		return fail(err)
 	}
-	rows := t.rows()
+	var rows []Row
+	if part == nil {
+		rows = t.rows()
+		a.mem.Release(charged)
+		charged = 0
+	} else {
+		if err := sp.dump(t, part); err != nil {
+			return fail(err)
+		}
+		a.mem.Release(charged)
+		charged = 0
+		runs, err := part.finish(a.mem)
+		if err != nil {
+			return err
+		}
+		if rows, err = sp.mergeAll(runs); err != nil {
+			return err
+		}
+	}
 	var arity int
 	if len(rows) > 0 {
 		arity = len(rows[0])
 	}
+	// The final output must materialize for the consumer regardless of
+	// budget; Force records any overage.
+	a.mem.Force(colBytes(arity, len(rows)))
 	a.out = transposeRows(rowsAsRaw(rows), arity)
 	a.pos = 0
 	return nil
@@ -493,7 +570,11 @@ func (a *vecHashAggOp) Next() (*Batch, error) {
 	return &a.batch, nil
 }
 
-func (a *vecHashAggOp) Close() error { a.out = colData{}; return nil }
+func (a *vecHashAggOp) Close() error {
+	a.out = colData{}
+	a.mem.ReleaseAll()
+	return nil
+}
 
 func rowLess(a, b Row) bool {
 	for i := range a {

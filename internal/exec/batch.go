@@ -418,6 +418,7 @@ func (p *vecProjectOp) Close() error { return p.in.Close() }
 type vecSortOp struct {
 	in    VecIterator
 	col   int
+	mem   *MemTracker // child tracker; Force-only (no external sort)
 	data  colData
 	pos   int
 	batch Batch
@@ -433,7 +434,12 @@ func (s *vecSortOp) Open() error {
 	if err != nil {
 		return err
 	}
+	// sortColsStable gathers into a second allocation; both copies are live
+	// during the sort, then the input is dropped.
+	in := colBytes(data.width(), data.n)
+	s.mem.Force(2 * in)
 	s.data = sortColsStable(data, s.col)
+	s.mem.Release(in)
 	s.pos = 0
 	return nil
 }
@@ -453,7 +459,11 @@ func (s *vecSortOp) Next() (*Batch, error) {
 	return &s.batch, nil
 }
 
-func (s *vecSortOp) Close() error { s.data = colData{}; return nil }
+func (s *vecSortOp) Close() error {
+	s.data = colData{}
+	s.mem.ReleaseAll()
+	return nil
+}
 
 // ---- vectorized cardinality counter ----
 

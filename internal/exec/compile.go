@@ -89,6 +89,19 @@ type Compiler struct {
 	// — compiles exactly the unprofiled operator tree. Columnar-only: the
 	// DisableColumnar row path ignores it.
 	Prof *PlanProfile
+	// MemBudgetBytes bounds the query's tracked execution memory. When > 0
+	// and Mem is nil, CompileVec creates the tracker; operators that can go
+	// out of core (hash join build, hash aggregation) spill under grace
+	// hashing instead of exceeding the budget, operators that cannot (sorts,
+	// merge joins, index builds, fused pipelines admitted by the planner's
+	// size estimate) charge through and record overage. 0 keeps today's
+	// unbounded execution paths exactly. Columnar-only.
+	MemBudgetBytes int64
+	// Mem is the query's memory tracker. Callers either pass one in (the
+	// server, to read back peak and spill statistics) or leave it nil and
+	// set MemBudgetBytes. A Compiler carrying a tracker is single-execution:
+	// reusing it across queries would accumulate charges.
+	Mem *MemTracker
 	// decisions maps plan nodes to their resolved cache decision for the
 	// current CompileVec call.
 	decisions map[*relalg.Plan]*cacheDecision
@@ -175,14 +188,20 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 	}
 	stats := &RunStats{Cards: map[relalg.RelSet]*int64{}}
 	c.resolveCache()
+	if c.Mem == nil && c.MemBudgetBytes > 0 {
+		c.Mem = NewMemTracker(c.MemBudgetBytes)
+	}
 	if c.Prof != nil {
 		c.Prof.workers = c.Parallelism
 	}
 	// Full-pipeline fusion at the root: when the query aggregates, the
 	// fused pipeline's terminal becomes worker-local partial aggregation
 	// (even for a bare scan plan, the Q1/Q6 shape), so no exchange or
-	// shared aggregation state sits on the per-row path.
-	if c.Parallelism > 1 {
+	// shared aggregation state sits on the per-row path. Under a memory
+	// budget the aggregation must stay spillable, so the root terminal
+	// falls back to the serial spill-capable operator over the (possibly
+	// still fused, estimate-admitted) join pipeline below.
+	if c.Parallelism > 1 && !(c.Q.Agg != nil && c.Mem.Bounded()) {
 		minStages := 1
 		if c.Q.Agg != nil {
 			minStages = 0
@@ -219,6 +238,9 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 			return nil, nil, err
 		}
 		v = NewVecHashAgg(v, spec)
+		if ha, ok := v.(*vecHashAggOp); ok {
+			ha.mem = c.Mem.Child("agg")
+		}
 		if c.Prof != nil {
 			v = &profVec{in: v, sp: c.Prof.Agg}
 		}
@@ -501,13 +523,13 @@ func (c *Compiler) compileVecNode(p *relalg.Plan, stats *RunStats) (VecIterator,
 			if err != nil {
 				return nil, nil, err
 			}
-			v = NewVecSort(v, off)
+			v = c.trackedSort(v, off)
 		} else if p.Phy == relalg.PhyIndexScan {
 			off, err := colOffset(schema, p.IdxCol)
 			if err != nil {
 				return nil, nil, err
 			}
-			v = NewVecSort(v, off)
+			v = c.trackedSort(v, off)
 		}
 		return c.countedVec(v, p.Expr, stats), schema, nil
 
@@ -520,7 +542,7 @@ func (c *Compiler) compileVecNode(p *relalg.Plan, stats *RunStats) (VecIterator,
 		if err != nil {
 			return nil, nil, err
 		}
-		return NewVecSort(child, off), schema, nil
+		return c.trackedSort(child, off), schema, nil
 
 	case relalg.LogJoin:
 		jp := c.Q.Joins[p.Pred]
@@ -563,12 +585,18 @@ func (c *Compiler) compileVecNode(p *relalg.Plan, stats *RunStats) (VecIterator,
 				return nil, nil, err
 			}
 			v = NewVecHashJoin(left, right, lKeys, rKeys, residual, c.Parallelism)
+			if hj, ok := v.(*vecHashJoinOp); ok {
+				hj.mem = c.Mem.Child("hashjoin")
+			}
 		case relalg.PhyMergeJoin:
 			residual, err := c.colResidualPreds(p, schema)
 			if err != nil {
 				return nil, nil, err
 			}
 			v = NewVecMergeJoin(left, right, lk, rk, residual)
+			if mj, ok := v.(*vecMergeJoinOp); ok {
+				mj.mem = c.Mem.Child("mergejoin")
+			}
 		default:
 			return nil, nil, fmt.Errorf("exec: unexpected join operator %v", p.Phy)
 		}
@@ -600,6 +628,10 @@ func (c *Compiler) compileVecIndexNL(p *relalg.Plan, jp relalg.JoinPred, stats *
 		innerCol, outerCol = outerCol, innerCol
 	}
 	index := buildColIndex(innerData, innerCol.Off, ScanFilter{Conds: innerConds})
+	// The index map (per-key row-id slices + bucket overhead) has no
+	// out-of-core fallback; the base column data it points into is the
+	// catalog's untracked mirror.
+	c.Mem.Force(int64(innerData.n) * 40)
 
 	outer, os, err := c.compileVec(p.Right, stats)
 	if err != nil {
@@ -672,6 +704,33 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 	}
 	scanCard := stats.counter(cur.Expr)
 
+	// Under a memory budget, fusion is admission-gated: the fused pipeline
+	// Force-charges its build tables (it cannot spill them), so it is only
+	// used when the optimizer's cardinality estimates put the combined build
+	// footprint within half the budget. The check runs before any build
+	// subtree is compiled — bailing later would leave counters and cache
+	// decisions half-registered. Misestimates surface as tracked overage.
+	if c.Mem.Bounded() {
+		var est int64
+		for _, pj := range spine {
+			width := 0
+			for rel := range c.Q.Rels {
+				if pj.Left.Expr.Has(rel) {
+					arity, err := c.tableArity(rel)
+					if err != nil {
+						return nil, nil, false, err
+					}
+					width += arity
+				}
+			}
+			rows := int64(pj.Left.Card)
+			est += colBytes(width, int(rows)) + joinTableBytes(int(rows))
+		}
+		if est > c.Mem.Limit()/2 {
+			return nil, nil, false, nil
+		}
+	}
+
 	// Stages assemble bottom-up: the innermost join of the spine is probed
 	// first, and each stage's output schema (build ++ probe) is the next
 	// stage's probe schema — exactly the schema the unfused operator tree
@@ -701,6 +760,7 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 			probeKeys: rKeys, residual: residual, card: stats.counter(pj.Expr)})
 	}
 	op := newParallelPipeline(data, ScanFilter{Conds: conds}, scanCard, stages, c.Parallelism)
+	op.mem = c.Mem.Child("pipeline")
 	if c.Prof != nil {
 		// Register self-time spans for every fused node: stages[j] probes
 		// spine[len-1-j] (the stage list assembles bottom-up), and the
@@ -727,6 +787,15 @@ func (c *Compiler) scanVec(data colData, filter ScanFilter) VecIterator {
 
 func (c *Compiler) countedVec(v VecIterator, set relalg.RelSet, stats *RunStats) VecIterator {
 	return NewVecCounter(v, stats.counter(set))
+}
+
+// trackedSort builds a sort operator with its memory child tracker attached.
+func (c *Compiler) trackedSort(in VecIterator, col int) VecIterator {
+	v := NewVecSort(in, col)
+	if s, ok := v.(*vecSortOp); ok {
+		s.mem = c.Mem.Child("sort")
+	}
+	return v
 }
 
 // joinOffsets resolves the primary equi-join columns of p against the

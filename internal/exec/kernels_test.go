@@ -215,6 +215,11 @@ func TestScanAggSteadyStateAllocs(t *testing.T) {
 	scan := NewVecScan(data.cols, data.n, filter).(*vecScanOp)
 	table := newAggTable(spec)
 	var scratch aggScratch
+	// Memory accounting rides the same loop: per-batch tracker traffic on
+	// both the nil (untracked) and the unbounded-root fast paths must stay
+	// allocation-free too.
+	tracked := NewMemTracker(0).Child("agg")
+	var untracked *MemTracker
 	pass := func() {
 		if err := scan.Open(); err != nil {
 			t.Fatal(err)
@@ -227,8 +232,17 @@ func TestScanAggSteadyStateAllocs(t *testing.T) {
 			if b == nil {
 				break
 			}
+			sz := colBytes(b.Width(), b.Len())
+			if !tracked.Reserve(sz) {
+				t.Fatal("unbounded tracker refused a reservation")
+			}
+			tracked.Force(sz)
+			untracked.Reserve(sz)
+			untracked.Force(sz)
 			table.addBatch(b.Cols, b.N, b.Sel, &scratch)
 		}
+		tracked.ReleaseAll()
+		untracked.ReleaseAll()
 	}
 	pass() // warm-up: sizes sel buffer, scratch, and creates all groups
 	if allocs := testing.AllocsPerRun(10, pass); allocs != 0 {

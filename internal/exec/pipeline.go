@@ -45,6 +45,7 @@ type parallelPipelineOp struct {
 	stages  []*pipeStage // in probe order: stages[0] is probed first
 	agg     *AggSpecExec // nil = collect mode (emit joined rows)
 	workers int
+	mem     *MemTracker // child tracker; Force-only (fusion is admission-gated)
 	// prof, when non-nil, receives the fused profile: per-worker stage
 	// clocks attribute each worker's wall time exclusively to the segment
 	// it is executing (scan, probe stage, terminal sink) and are merged
@@ -55,6 +56,21 @@ type parallelPipelineOp struct {
 	out   colData
 	pos   int
 	batch Batch
+
+	// Streaming collect terminal: instead of materializing worker-local
+	// buffers and concatenating them, collect-mode workers copy finished
+	// chunks into pooled batch shells and hand them to the consumer through
+	// an exchange channel — joined rows never materialize whole. A closer
+	// goroutine joins the workers, merges their exact cardinality counters
+	// and profile clocks, then closes ch, so counters are fully merged
+	// before the consumer can observe end-of-stream (the Snapshot-after-
+	// drain contract). quit unblocks producers on early Close.
+	stream bool
+	ch     chan *Batch
+	free   chan *Batch
+	quit   chan struct{}
+	last   *Batch // batch lent to the consumer, recycled on the next call
+	closed bool
 }
 
 // newParallelPipeline assembles a fused pipeline over a probe-side base
@@ -99,7 +115,7 @@ type pipeWorker struct {
 	stages  []stageScratch
 	agg     *aggTable
 	aggScr  aggScratch
-	collect colData
+	stopped bool        // streaming consumer went away; stop producing
 	clock   *stageClock // nil unless profiling
 }
 
@@ -114,9 +130,27 @@ func (p *parallelPipelineOp) Open() error {
 		if err != nil {
 			return err
 		}
+		p.mem.Force(colBytes(data.width(), data.n) + joinTableBytes(data.n))
 		st.table = newJoinTable(data, st.buildKeys, p.workers)
 		width += data.width()
 		stageWidths[i] = width
+	}
+
+	p.stream = p.agg == nil
+	if p.stream {
+		p.ch = make(chan *Batch, p.workers)
+		p.quit = make(chan struct{})
+		shells := 2*p.workers + 1 // per-worker in flight + channel buffer + consumer
+		p.free = make(chan *Batch, shells)
+		for i := 0; i < shells; i++ {
+			flat := make([]int64, width*BatchSize)
+			b := &Batch{Cols: make([][]int64, width)}
+			for c := range b.Cols {
+				b.Cols[c] = flat[c*BatchSize : (c+1)*BatchSize : (c+1)*BatchSize]
+			}
+			p.free <- b
+		}
+		p.mem.Force(int64(shells) * colBytes(width, BatchSize))
 	}
 
 	var cursor atomic.Int64
@@ -143,8 +177,6 @@ func (p *parallelPipelineOp) Open() error {
 		}
 		if p.agg != nil {
 			pw.agg = newAggTable(*p.agg)
-		} else {
-			pw.collect.cols = make([][]int64, width)
 		}
 		if p.prof != nil {
 			pw.clock = newStageClock(len(p.stages) + 2)
@@ -155,6 +187,24 @@ func (p *parallelPipelineOp) Open() error {
 			defer wg.Done()
 			pw.run(&cursor)
 		}()
+	}
+
+	if p.stream {
+		go func() {
+			wg.Wait()
+			for _, pw := range workers {
+				*p.scanCard += pw.counts[0]
+				for i, st := range p.stages {
+					*st.card += pw.counts[i+1]
+				}
+			}
+			if p.prof != nil {
+				p.mergeProf(workers)
+			}
+			close(p.ch)
+		}()
+		p.pos = 0
+		return nil
 	}
 	wg.Wait()
 
@@ -168,23 +218,17 @@ func (p *parallelPipelineOp) Open() error {
 			*st.card += pw.counts[i+1]
 		}
 	}
-	if p.agg != nil {
-		agg := workers[0].agg
-		for _, pw := range workers[1:] {
-			agg.mergeFrom(pw.agg)
-		}
-		rows := agg.rows()
-		var arity int
-		if len(rows) > 0 {
-			arity = len(rows[0])
-		}
-		p.out = transposeRows(rowsAsRaw(rows), arity)
-	} else {
-		p.out = colData{}
-		for _, pw := range workers {
-			p.out.appendFrom(pw.collect)
-		}
+	agg := workers[0].agg
+	for _, pw := range workers[1:] {
+		agg.mergeFrom(pw.agg)
 	}
+	rows := agg.rows()
+	var arity int
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	p.mem.Force(colBytes(arity, len(rows)))
+	p.out = transposeRows(rowsAsRaw(rows), arity)
 	if p.prof != nil {
 		p.mergeProf(workers)
 	}
@@ -232,7 +276,7 @@ func (w *pipeWorker) run(cursor *atomic.Int64) {
 	var window [][]int64
 	for {
 		lo := int(cursor.Add(1)-1) * morselSize
-		if lo >= data.n {
+		if lo >= data.n || w.stopped {
 			if w.clock != nil {
 				w.clock.to(0) // flush the trailing scan segment
 			}
@@ -286,7 +330,7 @@ func (w *pipeWorker) probeStageBody(depth int, cols [][]int64, n int, sel []int)
 		if w.agg != nil {
 			w.agg.addBatch(cols, n, sel, &w.aggScr)
 		} else {
-			w.collect.appendSel(cols, n, sel)
+			w.send(cols, n, sel)
 		}
 		return
 	}
@@ -305,6 +349,45 @@ func (w *pipeWorker) probeStageBody(depth int, cols [][]int64, n int, sel []int)
 	}
 	if len(sc.pairsB) > 0 {
 		w.flushStage(depth, cols)
+	}
+}
+
+// send copies a finished chunk into a pooled shell and hands it to the
+// consumer. Both the shell acquisition and the channel send select on quit,
+// so producers never block past an early Close.
+func (w *pipeWorker) send(cols [][]int64, n int, sel []int) {
+	if w.stopped {
+		return
+	}
+	var shell *Batch
+	select {
+	case shell = <-w.op.free:
+	case <-w.op.quit:
+		w.stopped = true
+		return
+	}
+	m := n
+	if sel != nil {
+		m = len(sel)
+	}
+	for c := range shell.Cols {
+		dst := shell.Cols[c][:BatchSize]
+		if sel == nil {
+			copy(dst[:n], cols[c][:n])
+		} else {
+			src := cols[c]
+			for k, i := range sel {
+				dst[k] = src[i]
+			}
+		}
+		shell.Cols[c] = dst[:m]
+	}
+	shell.N = m
+	shell.Sel = nil
+	select {
+	case w.op.ch <- shell:
+	case <-w.op.quit:
+		w.stopped = true
 	}
 }
 
@@ -348,6 +431,22 @@ func (w *pipeWorker) flushStage(depth int, cols [][]int64) {
 }
 
 func (p *parallelPipelineOp) Next() (*Batch, error) {
+	if p.stream {
+		if p.last != nil {
+			// Recycle the batch the consumer just finished with.
+			select {
+			case p.free <- p.last:
+			default:
+			}
+			p.last = nil
+		}
+		b, ok := <-p.ch
+		if !ok {
+			return nil, nil
+		}
+		p.last = b
+		return b, nil
+	}
 	if p.pos >= p.out.n {
 		return nil, nil
 	}
@@ -363,19 +462,46 @@ func (p *parallelPipelineOp) Next() (*Batch, error) {
 }
 
 func (p *parallelPipelineOp) Close() error {
+	if p.stream && !p.closed {
+		p.closed = true
+		close(p.quit)
+		// Drain until the closer goroutine closes ch: releases blocked
+		// producers and guarantees the counter merge happened before
+		// Close returns.
+		for range p.ch {
+		}
+		p.last = nil
+	}
 	p.out = colData{}
 	for _, st := range p.stages {
 		st.table = nil
 	}
+	p.mem.ReleaseAll()
 	return nil
 }
 
 // drainCols gives materializing consumers (e.g. an outer join draining a
-// fused build-side pipeline) the already-collected output directly instead
-// of re-copying it batch-by-batch.
+// fused build-side pipeline) the pipeline's output in one column-major
+// buffer: the streamed batches are appended as they arrive (same copy count
+// as the former worker-local collect + concatenate), the aggregate path
+// moves the already-materialized output.
 func (p *parallelPipelineOp) drainCols() (colData, error) {
 	if err := p.Open(); err != nil {
 		return colData{}, errors.Join(err, p.Close())
+	}
+	if p.stream {
+		var out colData
+		for {
+			b, err := p.Next()
+			if err != nil {
+				return out, errors.Join(err, p.Close())
+			}
+			if b == nil {
+				break
+			}
+			out.appendBatch(b)
+		}
+		return out, p.Close()
 	}
 	out := p.out
 	p.out = colData{} // ownership moves to the caller before Close drops it

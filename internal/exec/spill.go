@@ -1,0 +1,316 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file holds the grace-hash spill substrate shared by the hash join and
+// hash aggregation: columnar run files on disk, chunk-framed so they stream
+// back as regular batches, plus the hash partitioner that routes batches to
+// runs by the HIGH bits of the existing vectorized key hash. Bucket and slot
+// selection in joinTable and aggTable use the LOW bits (h & mask), so rows
+// within one partition still hash uniformly across a partition-local table.
+//
+// Run format: a sequence of chunks, each [n uint32][col0 n×int64]...[colW-1
+// n×int64], little-endian. Chunks carry at most BatchSize rows, so readers
+// hand out standard recycled batches. Files are created with os.CreateTemp
+// and unlinked immediately; the OS reclaims them when the fd closes, even on
+// a crash.
+//
+// Partitioning uses spillBits bits per level starting from the top of the
+// 64-bit hash: level 0 routes on bits 61..63, level 1 on 58..60, and so on.
+// Equal keys have equal hashes, so matching join rows and mergeable
+// aggregation partials land in the same partition at every level. A
+// partition that still exceeds its reservation at maxSpillLevel stops
+// recursing (the skewed-key end state: few distinct hash values left) and
+// is handled by the operators' block-chunked fallbacks.
+
+const (
+	spillBits     = 3
+	spillFanout   = 1 << spillBits
+	maxSpillLevel = 6
+)
+
+// spillPart returns the partition of hash h at a recursion level, reading a
+// disjoint bit window per level.
+func spillPart(h uint64, level int) int {
+	return int(h>>(64-spillBits*(level+1))) & (spillFanout - 1)
+}
+
+// spillWriter appends chunks to one partition run file.
+type spillWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	width   int
+	rows    int
+	bytes   int64
+	scratch []byte
+}
+
+func newSpillWriter(width int) (*spillWriter, error) {
+	f, err := os.CreateTemp("", "repro-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("exec: spill: %w", err)
+	}
+	// Unlink immediately: the run lives exactly as long as its fd.
+	os.Remove(f.Name())
+	return &spillWriter{f: f, w: bufio.NewWriterSize(f, 1<<14), width: width}, nil
+}
+
+// writeChunk appends the live rows of a column-major chunk as one framed
+// chunk. The rows are gathered through sel into a reused scratch encode
+// buffer, so callers may hand zero-copy column windows.
+func (w *spillWriter) writeChunk(cols [][]int64, n int, sel []int) error {
+	m := n
+	if sel != nil {
+		m = len(sel)
+	}
+	if m == 0 {
+		return nil
+	}
+	need := 4 + m*w.width*8
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	buf := w.scratch[:need]
+	binary.LittleEndian.PutUint32(buf, uint32(m))
+	off := 4
+	for c := 0; c < w.width; c++ {
+		col := cols[c]
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[off:], uint64(col[i]))
+				off += 8
+			}
+		} else {
+			for _, i := range sel {
+				binary.LittleEndian.PutUint64(buf[off:], uint64(col[i]))
+				off += 8
+			}
+		}
+	}
+	w.rows += m
+	w.bytes += int64(need)
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("exec: spill write: %w", err)
+	}
+	return nil
+}
+
+// run flushes the writer and returns the finished, readable run.
+func (w *spillWriter) run() (*spillRun, error) {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return nil, fmt.Errorf("exec: spill flush: %w", err)
+	}
+	return &spillRun{f: w.f, width: w.width, rows: w.rows, bytes: w.bytes}, nil
+}
+
+// spillRun is a finished partition run file; it can be read back any number
+// of times (the chunk-fallback re-reads the probe run per build chunk).
+type spillRun struct {
+	f     *os.File
+	width int
+	rows  int
+	bytes int64
+}
+
+func (r *spillRun) close() {
+	if r != nil && r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}
+
+// reader rewinds the run and returns a chunk reader over it.
+func (r *spillRun) reader() (*spillRunReader, error) {
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("exec: spill seek: %w", err)
+	}
+	return &spillRunReader{r: bufio.NewReaderSize(r.f, 1<<14), width: r.width}, nil
+}
+
+// spillRunReader streams a run back as recycled column-major batches —
+// the standard producer contract: the batch and its columns are reused on
+// the next call.
+type spillRunReader struct {
+	r     *bufio.Reader
+	width int
+	buf   []byte
+	flat  []int64
+	batch Batch
+}
+
+// next returns the next chunk as a batch, or nil at end of run.
+func (r *spillRunReader) next() (*Batch, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("exec: spill read: %w", err)
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[:]))
+	need := m * r.width * 8
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:need]); err != nil {
+		return nil, fmt.Errorf("exec: spill read: %w", err)
+	}
+	if cap(r.flat) < m*r.width {
+		r.flat = make([]int64, m*r.width)
+	}
+	if r.batch.Cols == nil {
+		r.batch.Cols = make([][]int64, r.width)
+	}
+	off := 0
+	for c := 0; c < r.width; c++ {
+		col := r.flat[c*m : (c+1)*m : (c+1)*m]
+		for i := range col {
+			col[i] = int64(binary.LittleEndian.Uint64(r.buf[off:]))
+			off += 8
+		}
+		r.batch.Cols[c] = col
+	}
+	r.batch.N = m
+	r.batch.Sel = nil
+	return &r.batch, nil
+}
+
+// spillPartitioner fans incoming batches out to spillFanout partition runs
+// by the level's hash-bit window over the key columns.
+type spillPartitioner struct {
+	level int
+	keys  []int
+	parts [spillFanout]*spillWriter
+	sels  [spillFanout][]int
+	hs    []uint64
+}
+
+func newSpillPartitioner(width int, keys []int, level int) (*spillPartitioner, error) {
+	s := &spillPartitioner{level: level, keys: keys}
+	for p := range s.parts {
+		w, err := newSpillWriter(width)
+		if err != nil {
+			s.abort()
+			return nil, err
+		}
+		s.parts[p] = w
+	}
+	return s, nil
+}
+
+// add routes the live rows of a column-major chunk to their partitions.
+func (s *spillPartitioner) add(cols [][]int64, n int, sel []int) error {
+	s.hs = hashLive(s.hs, cols, s.keys, n, sel)
+	for p := range s.sels {
+		s.sels[p] = s.sels[p][:0]
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			p := spillPart(s.hs[i], s.level)
+			s.sels[p] = append(s.sels[p], i)
+		}
+	} else {
+		for k, i := range sel {
+			p := spillPart(s.hs[k], s.level)
+			s.sels[p] = append(s.sels[p], i)
+		}
+	}
+	for p, w := range s.parts {
+		if len(s.sels[p]) == 0 {
+			continue
+		}
+		if err := w.writeChunk(cols, n, s.sels[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes every partition and returns the runs (empty partitions
+// included — callers skip zero-row runs), recording each non-empty run in
+// the tracker's spill counters.
+func (s *spillPartitioner) finish(tr *MemTracker) ([]*spillRun, error) {
+	runs := make([]*spillRun, spillFanout)
+	for p, w := range s.parts {
+		r, err := w.run()
+		if err != nil {
+			for _, done := range runs {
+				done.close()
+			}
+			for _, rest := range s.parts[p+1:] {
+				rest.f.Close()
+			}
+			return nil, err
+		}
+		runs[p] = r
+		if r.rows > 0 {
+			tr.noteSpillPartition(r.bytes)
+		}
+	}
+	return runs, nil
+}
+
+// abort closes every partition writer without producing runs.
+func (s *spillPartitioner) abort() {
+	for _, w := range s.parts {
+		if w != nil {
+			w.f.Close()
+		}
+	}
+}
+
+// repartitionRun re-reads a run and splits it one level deeper — the
+// recursive repartitioning step for skewed partitions.
+func repartitionRun(r *spillRun, keys []int, level int, tr *MemTracker) ([]*spillRun, error) {
+	part, err := newSpillPartitioner(r.width, keys, level)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := r.reader()
+	if err != nil {
+		part.abort()
+		return nil, err
+	}
+	for {
+		b, err := rd.next()
+		if err != nil {
+			part.abort()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := part.add(b.Cols, b.N, b.Sel); err != nil {
+			part.abort()
+			return nil, err
+		}
+	}
+	return part.finish(tr)
+}
+
+// readRunAll materializes a whole run column-major — the per-partition build
+// load, charged by the caller before calling.
+func readRunAll(r *spillRun) (colData, error) {
+	rd, err := r.reader()
+	if err != nil {
+		return colData{}, err
+	}
+	out := newColData(r.width, r.rows)
+	for {
+		b, err := rd.next()
+		if err != nil {
+			return out, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out.appendBatch(b)
+	}
+}

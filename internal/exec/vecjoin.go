@@ -84,8 +84,10 @@ type vecHashJoinOp struct {
 	lKeys, rKeys []int
 	residual     []ColPred
 	workers      int
+	mem          *MemTracker // child tracker; nil = untracked
 
 	table *joinTable
+	spill *spillJoin // non-nil once the build overflowed its reservation
 
 	// probe state, carried across Next calls
 	pb      *Batch
@@ -118,18 +120,75 @@ func (j *vecHashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	build, err := drainVecCols(j.left)
-	if err != nil {
-		// Release the already-opened probe side (which may have
-		// launched parallel scan workers).
-		return errors.Join(err, j.right.Close())
+	if j.mem.Bounded() {
+		if err := j.openBounded(); err != nil {
+			// Release the already-opened probe side (which may have
+			// launched parallel scan workers).
+			return errors.Join(err, j.right.Close())
+		}
+	} else {
+		build, err := drainVecCols(j.left)
+		if err != nil {
+			return errors.Join(err, j.right.Close())
+		}
+		j.mem.Force(colBytes(build.width(), build.n) + joinTableBytes(build.n))
+		j.table = newJoinTable(build, j.lKeys, j.workers)
 	}
-	j.table = newJoinTable(build, j.lKeys, j.workers)
 	if j.pairsB == nil {
 		j.pairsB = make([]int32, 0, BatchSize)
 		j.pairsP = make([]int32, 0, BatchSize)
 	}
 	return nil
+}
+
+// openBounded drains the build side batch-at-a-time under the memory
+// reservation (forgoing the parallel drainCols fast path — the price of a
+// hard bound), switching to grace-hash spilling the moment a reservation
+// fails. On the spill path openSpill takes over the open build input.
+func (j *vecHashJoinOp) openBounded() error {
+	if err := j.left.Open(); err != nil {
+		return errors.Join(err, j.left.Close())
+	}
+	var (
+		build   colData
+		charged int64
+	)
+	for {
+		b, err := j.left.Next()
+		if err != nil {
+			j.mem.Release(charged)
+			return errors.Join(err, j.left.Close())
+		}
+		if b == nil {
+			break
+		}
+		need := colBytes(b.Width(), b.Len())
+		if !j.mem.Reserve(need) {
+			return j.openSpill(build, b, charged)
+		}
+		charged += need
+		build.appendBatch(b)
+	}
+	// Reserve the hash table before closing the build input: if even the
+	// table does not fit, openSpill re-drains the (exhausted) input.
+	if !j.mem.Reserve(joinTableBytes(build.n)) {
+		return j.openSpill(build, nil, charged)
+	}
+	if err := j.left.Close(); err != nil {
+		j.mem.ReleaseAll()
+		return err
+	}
+	j.table = newJoinTable(build, j.lKeys, j.workers)
+	return nil
+}
+
+// nextProbeBatch is the probe source indirection: the in-memory path streams
+// the probe input directly, the spilled path streams partition runs.
+func (j *vecHashJoinOp) nextProbeBatch() (*Batch, error) {
+	if j.spill != nil {
+		return j.spillNextBatch()
+	}
+	return j.right.Next()
 }
 
 // flushPairs residual-filters the pending pairs and stitches the survivors
@@ -187,20 +246,33 @@ func (j *vecHashJoinOp) Next() (*Batch, error) {
 		if j.drained {
 			return nil, nil
 		}
-		b, err := j.right.Next()
+		b, err := j.nextProbeBatch()
 		if err != nil {
 			return nil, err
 		}
 		if b == nil {
 			j.drained = true
+			// The producer may recycle its last batch when it reports end
+			// of stream (the parallel scan clears Sel, changing Len), so
+			// drop the stale reference before re-checking the cursor.
+			j.pb = nil
 			continue
 		}
 		j.pb, j.pi = b, 0
 		j.hs = hashLive(j.hs, b.Cols, j.rKeys, b.N, b.Sel)
+		// The spilled path installs a fresh table per partition; pairs are
+		// always flushed before a new probe batch, so the swap is safe here.
+		t = j.table
 	}
 }
 
-func (j *vecHashJoinOp) Close() error { j.table = nil; return j.right.Close() }
+func (j *vecHashJoinOp) Close() error {
+	j.table = nil
+	j.spill.closeAll()
+	j.spill = nil
+	j.mem.ReleaseAll()
+	return j.right.Close()
+}
 
 // ---- vectorized merge join ----
 
@@ -208,6 +280,7 @@ type vecMergeJoinOp struct {
 	left, right VecIterator
 	lKey, rKey  int
 	residual    []ColPred
+	mem         *MemTracker // child tracker; Force-only (no spill fallback)
 
 	lData, rData colData
 	li, ri       int
@@ -233,6 +306,7 @@ func (m *vecMergeJoinOp) Open() error {
 	if m.rData, err = drainVecCols(m.right); err != nil {
 		return err
 	}
+	m.mem.Force(colBytes(m.lData.width(), m.lData.n) + colBytes(m.rData.width(), m.rData.n))
 	// Same defensive sortedness check as the row-at-a-time operator — now a
 	// single pass over one contiguous key column per side.
 	if m.lData.n > 0 {
@@ -316,6 +390,7 @@ func (m *vecMergeJoinOp) Next() (*Batch, error) {
 
 func (m *vecMergeJoinOp) Close() error {
 	m.lData, m.rData = colData{}, colData{}
+	m.mem.ReleaseAll()
 	return nil
 }
 
@@ -425,6 +500,9 @@ func (j *vecIndexNLOp) Next() (*Batch, error) {
 		}
 		if b == nil {
 			j.drained = true
+			// Same stale-batch hazard as the hash join: the producer may
+			// recycle its last batch at end of stream.
+			j.ob = nil
 			continue
 		}
 		j.ob, j.oi = b, 0

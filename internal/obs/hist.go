@@ -135,6 +135,68 @@ func (h *Histogram) Summary() HistSummary {
 	}
 }
 
+// ObserveInt64 records one nonnegative integer sample. The log-linear
+// buckets are unit-agnostic — the same histogram digests nanoseconds or
+// bytes — so size distributions (e.g. per-query peak memory) reuse the
+// duration machinery verbatim.
+func (h *Histogram) ObserveInt64(v int64) { h.Observe(time.Duration(v)) }
+
+// IntSummary is a point-in-time digest of a Histogram recording integer
+// samples (ObserveInt64), embeddable in metrics snapshots.
+type IntSummary struct {
+	Count uint64
+	Sum   int64
+	P50   int64
+	P95   int64
+	P99   int64
+	Max   int64
+}
+
+// SummaryInt64 digests the histogram as integer samples. Like Summary, the
+// digest is only approximately consistent under concurrent writes.
+func (h *Histogram) SummaryInt64() IntSummary {
+	return IntSummary{
+		Count: h.Count(),
+		Sum:   h.sum.Load(),
+		P50:   int64(h.Quantile(0.50)),
+		P95:   int64(h.Quantile(0.95)),
+		P99:   int64(h.Quantile(0.99)),
+		Max:   h.max.Load(),
+	}
+}
+
+// String renders the integer digest as one metrics-style line.
+func (s IntSummary) String() string {
+	return fmt.Sprintf("n=%d sum=%d p50=%d p95=%d p99=%d max=%d",
+		s.Count, s.Sum, s.P50, s.P95, s.P99, s.Max)
+}
+
+// WritePromIntHistogram writes a histogram of integer samples (bytes) to w
+// in Prometheus text exposition format plus p50/p95/p99 gauges, mirroring
+// WritePromHistogram without the nanoseconds→seconds scaling.
+func (h *Histogram) WritePromIntHistogram(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	bi := 0
+	for _, bound := range promBounds {
+		for bi < histBuckets && bucketUpper(bi) <= bound {
+			cum += h.buckets[bi].Load()
+			bi++
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n",
+			name, q.suffix, name, q.suffix, int64(h.Quantile(q.q)))
+	}
+}
+
 // Mean returns the average recorded duration (0 when empty).
 func (s HistSummary) Mean() time.Duration {
 	if s.Count == 0 {

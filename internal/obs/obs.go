@@ -84,8 +84,9 @@ const (
 	// KindPrepare is a statement bind: Note is "hit" or "miss", A is the
 	// number of warm-started factors (miss only).
 	KindPrepare Kind = 1 + iota
-	// KindQueueWait is the admission-semaphore wait before an execution:
-	// Dur is the wait.
+	// KindQueueWait is the admission wait before an execution: Dur is the
+	// wait, Note is "mem" when the execution waited on the memory-ceiling
+	// gate (empty for a plain semaphore wait).
 	KindQueueWait
 	// KindExec is one finished execution: A is the result row count, B the
 	// plan version that ran, Dur the execution wall time, and Note
@@ -106,6 +107,10 @@ const (
 	// the phase name, A is 1 at phase start and 2 at phase end, and V
 	// carries the statistics plane's end-of-phase estimation error.
 	KindPhase
+	// KindSpill is one execution's grace-hash spill activity under a memory
+	// budget: A is the partition files written, B the bytes spilled, and V
+	// the query's peak tracked memory in bytes.
+	KindSpill
 )
 
 // String names the kind.
@@ -125,6 +130,8 @@ func (k Kind) String() string {
 		return "slow-query"
 	case KindPhase:
 		return "phase"
+	case KindSpill:
+		return "spill"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -156,6 +163,9 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " %s warm=%d", e.Note, e.A)
 	case KindQueueWait:
 		fmt.Fprintf(&b, " wait=%v", e.Dur)
+		if e.Note != "" {
+			fmt.Fprintf(&b, " reason=%s", e.Note)
+		}
 	case KindExec:
 		fmt.Fprintf(&b, " rows=%d v=%d dur=%v", e.A, e.B, e.Dur)
 		if e.Note != "" {
@@ -167,6 +177,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " %s n=%d", e.Note, e.A)
 	case KindSlowQuery:
 		fmt.Fprintf(&b, " dur=%v threshold=%s", e.Dur, e.Note)
+	case KindSpill:
+		fmt.Fprintf(&b, " partitions=%d bytes=%d peak=%.0f", e.A, e.B, e.V)
 	case KindPhase:
 		edge := "start"
 		if e.A == 2 {

@@ -75,6 +75,11 @@ func (s *Server) WriteProm(w io.Writer) {
 	obs.WritePromCounter(w, "repro_stats_decays_total", "Statistics folds that decayed stored history.", m.StatsDecays)
 	obs.WritePromGauge(w, "repro_stats_stale_keys", "Fingerprints beyond the staleness horizon.", float64(m.StatsStale))
 	obs.WritePromCounter(w, "repro_queue_waited_total", "Executions that measurably waited on admission.", m.QueueWaits)
+	obs.WritePromCounter(w, "repro_mem_waited_total", "Executions that waited on the memory-ceiling gate.", m.MemWaits)
+	obs.WritePromCounter(w, "repro_spilled_queries_total", "Executions that spilled to disk under the memory budget.", m.SpilledQueries)
+	obs.WritePromCounter(w, "repro_spill_partitions_total", "Grace-hash spill partition files written.", m.SpillPartitions)
+	obs.WritePromCounter(w, "repro_spill_bytes_total", "Bytes spilled to disk.", m.SpillBytes)
+	obs.WritePromCounter(w, "repro_spill_recursions_total", "Recursive spill repartitioning steps.", m.SpillRecursions)
 	if m.ResultCacheEnabled {
 		rc := m.ResultCache
 		obs.WritePromGauge(w, "repro_result_cache_bytes", "Bytes held by the semantic result cache.", float64(rc.Bytes))
@@ -87,6 +92,7 @@ func (s *Server) WriteProm(w io.Writer) {
 	s.latencyH.WritePromHistogram(w, "repro_exec_latency_seconds", "Statement execution wall time.")
 	s.queueH.WritePromHistogram(w, "repro_queue_wait_seconds", "Admission-queue wait before execution.")
 	s.repairH.WritePromHistogram(w, "repro_repair_seconds", "Incremental plan repair wall time.")
+	s.peakMemH.WritePromIntHistogram(w, "repro_peak_memory_bytes", "Per-query peak tracked execution memory.")
 	// Per-entry gauges, labeled by the entry digest so series survive
 	// human-readable name changes.
 	fmt.Fprintf(w, "# HELP repro_entry_est_error Latest per-entry cardinality estimation error (mean |ln(act/est)|).\n# TYPE repro_entry_est_error gauge\n")

@@ -85,11 +85,25 @@ type Metrics struct {
 	// QueueWaits counts executions that measurably waited on the admission
 	// semaphore; QueueWait, ExecLatency and RepairLatency digest the
 	// always-on latency histograms (admission wait and execution wall time
-	// per execution, repair wall time per incremental repair).
+	// per execution, repair wall time per incremental repair). MemWaits
+	// counts executions that waited on the memory-ceiling gate
+	// specifically (a subset of QueueWaits).
 	QueueWaits    int64
+	MemWaits      int64
 	QueueWait     obs.HistSummary
 	ExecLatency   obs.HistSummary
 	RepairLatency obs.HistSummary
+
+	// The memory plane: PeakMem digests per-query peak tracked execution
+	// memory in bytes (always on — tracked even without a budget), and the
+	// Spill* counters accumulate grace-hash spill activity across all
+	// executions under a budget. SpilledQueries counts executions that
+	// spilled at all.
+	PeakMem         obs.IntSummary
+	SpilledQueries  int64
+	SpillPartitions int64
+	SpillBytes      int64
+	SpillRecursions int64
 
 	// Retired is the aggregate history of evicted entries. It is already
 	// included in the totals above; it is broken out so the totals can be
@@ -135,9 +149,16 @@ func (s *Server) Metrics() Metrics {
 		ResultCache:        s.resCache.Metrics(),
 
 		QueueWaits:    s.queueWaits.Load(),
+		MemWaits:      s.memWaits.Load(),
 		QueueWait:     s.queueH.Summary(),
 		ExecLatency:   s.latencyH.Summary(),
 		RepairLatency: s.repairH.Summary(),
+
+		PeakMem:         s.peakMemH.SummaryInt64(),
+		SpilledQueries:  s.spilledQueries.Load(),
+		SpillPartitions: s.spillPartitions.Load(),
+		SpillBytes:      s.spillBytes.Load(),
+		SpillRecursions: s.spillRecursions.Load(),
 
 		Retired: RetiredMetrics{
 			Execs:       s.retired.execs.Load(),
@@ -206,7 +227,12 @@ func (m Metrics) String() string {
 		m.Retired.Execs, m.Retired.FullOpts, m.Retired.FullOptTime.Round(time.Microsecond),
 		m.Retired.Repairs, m.Retired.RepairTime.Round(time.Microsecond), m.Retired.Converged)
 	fmt.Fprintf(&b, "latency: %s\n", m.ExecLatency)
-	fmt.Fprintf(&b, "queue-wait: waited=%d %s\n", m.QueueWaits, m.QueueWait)
+	fmt.Fprintf(&b, "queue-wait: waited=%d mem-waited=%d %s\n", m.QueueWaits, m.MemWaits, m.QueueWait)
+	fmt.Fprintf(&b, "memory: peak-bytes %s\n", m.PeakMem)
+	if m.SpilledQueries > 0 {
+		fmt.Fprintf(&b, "spill: queries=%d partitions=%d bytes=%d recursions=%d\n",
+			m.SpilledQueries, m.SpillPartitions, m.SpillBytes, m.SpillRecursions)
+	}
 	if m.RepairLatency.Count > 0 {
 		fmt.Fprintf(&b, "repair-latency: %s\n", m.RepairLatency)
 	}

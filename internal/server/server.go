@@ -86,6 +86,22 @@ type Options struct {
 	// oversubscribe it.
 	MaxConcurrent int
 
+	// MemBudgetBytes bounds each query's tracked execution memory: the
+	// spill-capable operators (hash join build, hash aggregation) go out
+	// of core under grace hashing instead of exceeding it, the rest charge
+	// through and record overage. 0 executes unbounded — memory is still
+	// tracked, so the peak-memory metrics stay live either way.
+	MemBudgetBytes int64
+	// MemCeilingBytes bounds the sum of concurrently admitted queries'
+	// memory budgets — the second admission gate, under the MaxConcurrent
+	// semaphore: an execution whose budget would push the in-flight total
+	// past the ceiling waits until running queries release theirs (the
+	// wait lands in the queue-wait histogram and traces with reason
+	// "mem"). Requires MemBudgetBytes, which must not exceed the ceiling —
+	// a single query that could never be admitted is rejected at New.
+	// 0 disables the ceiling.
+	MemCeilingBytes int64
+
 	// MaxEntries bounds the plan cache: inserting a cache miss beyond the
 	// bound evicts the least-recently-used entry first. 0 is unbounded.
 	// Eviction discards only the plan and its live optimizer — the learned
@@ -185,6 +201,13 @@ type Server struct {
 	closed  atomic.Bool   // set by Shutdown: no new executions admitted
 	drainMu sync.Mutex    // serializes Shutdown drains
 
+	// The memory admission gate (MemCeilingBytes): memInUse is the sum of
+	// admitted queries' budgets, waiters block on memCond until a release
+	// makes room. Guarded by memMu; nil memCond means no ceiling.
+	memMu    sync.Mutex
+	memCond  *sync.Cond
+	memInUse int64
+
 	mu      sync.RWMutex
 	entries map[string]*planEntry
 	order   []string // insertion order, for stable metrics listings
@@ -211,6 +234,15 @@ type Server struct {
 	repairH    *obs.Histogram // incremental repair time
 	queueH     *obs.Histogram // admission-queue wait
 	queueWaits atomic.Int64   // executions that waited > 0 on admission
+	memWaits   atomic.Int64   // executions that waited on the memory gate
+
+	// The memory plane: per-query peak tracked bytes, and the spill
+	// counters accumulated across executions.
+	peakMemH        *obs.Histogram
+	spilledQueries  atomic.Int64
+	spillPartitions atomic.Int64
+	spillBytes      atomic.Int64
+	spillRecursions atomic.Int64
 }
 
 // New builds a server over the catalog. The catalog must not be mutated
@@ -234,6 +266,18 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 	}
 	if opts.MaxEntries < 0 {
 		return nil, fmt.Errorf("server: negative MaxEntries %d", opts.MaxEntries)
+	}
+	if opts.MemBudgetBytes < 0 || opts.MemCeilingBytes < 0 {
+		return nil, fmt.Errorf("server: negative memory bound")
+	}
+	if opts.MemCeilingBytes > 0 {
+		if opts.MemBudgetBytes == 0 {
+			return nil, fmt.Errorf("server: MemCeilingBytes requires MemBudgetBytes")
+		}
+		if opts.MemBudgetBytes > opts.MemCeilingBytes {
+			return nil, fmt.Errorf("server: per-query budget %d exceeds memory ceiling %d — no query could ever be admitted",
+				opts.MemBudgetBytes, opts.MemCeilingBytes)
+		}
 	}
 	stats := opts.Stats
 	if stats == nil {
@@ -259,6 +303,10 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 		latencyH: obs.NewHistogram(),
 		repairH:  obs.NewHistogram(),
 		queueH:   obs.NewHistogram(),
+		peakMemH: obs.NewHistogram(),
+	}
+	if opts.MemCeilingBytes > 0 {
+		srv.memCond = sync.NewCond(&srv.memMu)
 	}
 	if opts.TraceEvents > 0 {
 		srv.trace = obs.NewTracer(opts.TraceEvents)
@@ -869,6 +917,28 @@ func (st *Stmt) exec(prof *exec.PlanProfile) (res *Result, analyzed string, err 
 	enqueued := time.Now()
 	srv.sem <- struct{}{}
 	defer func() { <-srv.sem }()
+	// Second admission gate: hold the execution until its memory budget
+	// fits under the server-wide ceiling. The wait folds into the same
+	// queue-wait accounting as the semaphore, tagged with its reason.
+	memWaited := false
+	if budget := srv.opts.MemBudgetBytes; srv.memCond != nil {
+		srv.memMu.Lock()
+		for srv.memInUse+budget > srv.opts.MemCeilingBytes {
+			if !memWaited {
+				memWaited = true
+				srv.memWaits.Add(1) // counted as the wait begins
+			}
+			srv.memCond.Wait()
+		}
+		srv.memInUse += budget
+		srv.memMu.Unlock()
+		defer func() {
+			srv.memMu.Lock()
+			srv.memInUse -= budget
+			srv.memMu.Unlock()
+			srv.memCond.Broadcast()
+		}()
+	}
 	wait := time.Since(enqueued)
 	srv.queueH.Observe(wait)
 	if wait > 0 {
@@ -887,16 +957,24 @@ func (st *Stmt) exec(prof *exec.PlanProfile) (res *Result, analyzed string, err 
 		prof = exec.NewPlanProfile()
 	}
 	traceFrom := srv.trace.Seq()
-	srv.trace.Emit(obs.Event{Kind: obs.KindQueueWait, Query: e.hash, Dur: wait})
+	queueNote := ""
+	if memWaited {
+		queueNote = "mem"
+	}
+	srv.trace.Emit(obs.Event{Kind: obs.KindQueueWait, Query: e.hash, Dur: wait, Note: queueNote})
 	var rc0 rescache.Metrics
 	if srv.trace.Enabled() && srv.resCache.Enabled() {
 		rc0 = srv.resCache.Metrics()
 	}
 
 	start := time.Now()
+	// The tracker is created even without a budget so per-query peak
+	// memory stays observable on unbounded servers.
+	mem := exec.NewMemTracker(srv.opts.MemBudgetBytes)
 	comp := &exec.Compiler{
 		Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism,
 		Cache: srv.resCache, CacheCands: snap.cands, Prof: prof,
+		MemBudgetBytes: srv.opts.MemBudgetBytes, Mem: mem,
 	}
 	v, stats, err := comp.CompileVec(snap.plan)
 	if err != nil {
@@ -910,6 +988,17 @@ func (st *Stmt) exec(prof *exec.PlanProfile) (res *Result, analyzed string, err 
 	srv.latencyH.Observe(elapsed)
 	e.execs.Add(1)
 	st.sess.execs.Add(1)
+
+	peak := mem.Peak()
+	srv.peakMemH.ObserveInt64(peak)
+	if parts, bytes, recs := mem.SpillStats(); parts > 0 {
+		srv.spilledQueries.Add(1)
+		srv.spillPartitions.Add(parts)
+		srv.spillBytes.Add(bytes)
+		srv.spillRecursions.Add(recs)
+		srv.trace.Emit(obs.Event{Kind: obs.KindSpill, Query: e.hash,
+			A: parts, B: bytes, V: float64(peak)})
+	}
 
 	if srv.trace.Enabled() && srv.resCache.Enabled() {
 		// Result-cache activity is server-wide, so under concurrency the

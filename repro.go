@@ -15,7 +15,8 @@
 //     the shared query model, physical design, statistics and cost model;
 //   - internal/exec — a vectorized (batch-at-a-time) executor with
 //     selection vectors, morsel-driven parallel scans behind a Parallelism
-//     option, exact per-operator cardinality feedback, and a row-at-a-time
+//     option, per-query memory accounting with grace-hash spilling under a
+//     budget, exact per-operator cardinality feedback, and a row-at-a-time
 //     compatibility shim;
 //   - internal/aqp — the adaptive query processing loop;
 //   - internal/fbstore — the server-wide statistics plane: calibrated
@@ -139,6 +140,30 @@
 //     text format, including per-entry estimation-error gauges),
 //     /metrics.json, /traces and /debug/pprof/*. cmd/reproserve wires this
 //     to -http, -trace-events, -slow-query and -metrics-json.
+//
+// # Memory
+//
+// Execution is memory-bounded on request. ServerOptions.MemBudgetBytes
+// bounds each query's tracked execution memory: the executor charges its
+// materializing state (hash-join build sides, aggregation tables, pipeline
+// scratch) to a per-query memory tracker, and a hash join or aggregation
+// whose build input would exceed the budget switches to grace-hash
+// execution — the input is partitioned to disk by the same hash the
+// in-memory path uses, partitions are processed one at a time, and a
+// partition that still doesn't fit is recursively repartitioned. Spilled
+// execution is exactly transparent: result multisets and the per-operator
+// cardinality feedback that repairs cached plans are byte-identical with
+// spilling on or off, at any Parallelism (differential-tested), so
+// bounding memory never perturbs the paper's adaptive loop.
+// ServerOptions.MemCeilingBytes layers admission control on top: an
+// execution is held until the sum of admitted per-query budgets fits
+// under the server-wide ceiling, and the wait is traced as a queue-wait
+// with reason "mem". Per-query peak tracked memory is always observable —
+// budget or not — as a histogram in ServerMetrics and on /metrics
+// (repro_peak_memory_bytes), alongside spill counters (partitions, bytes,
+// recursions). cmd/reproserve wires the bounds to -mem-budget-mb and
+// -mem-ceiling-mb; reprobench -fig memory measures unbounded vs budgeted
+// execution side by side.
 package repro
 
 import (
