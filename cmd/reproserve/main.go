@@ -48,6 +48,21 @@
 //     queries' budgets never exceeds N MiB; waits surface in the queue-wait
 //     histogram and trace as reason=mem. Requires -mem-budget-mb.
 //
+// Persistent storage:
+//
+//   - -data-dir DIR binds every table to a log-structured persistent
+//     backend under DIR: on first boot the generated TPC-H tables are
+//     seeded into it and flushed as immutable sorted column segments on
+//     graceful shutdown; later boots load the segments and replay the
+//     append log instead of regenerating, so a restart serves identical
+//     data. Per-segment zone maps add the segment-pruned scan access path
+//     to the optimizer's plan space. Pairs naturally with -stats-file:
+//     data and learned statistics then both survive restarts.
+//   - -spill-dir DIR places the (immediately unlinked) spill partition
+//     files of out-of-core hash joins and aggregations under DIR instead
+//     of the system temp directory; write failures there surface as query
+//     errors.
+//
 // -result-cache-mb N gives the semantic result cache an N MiB byte budget
 // (0 disables it, the default). With the cache on, sessions share the
 // materialized outputs of hot cacheable subexpressions across statements:
@@ -125,6 +140,8 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "query-lifecycle event ring size (prepare/queue/exec/repair/result-cache events); 0 disables tracing")
 	slowQuery := flag.Duration("slow-query", 0, "slow-query threshold (e.g. 50ms): slower executions dump lifecycle trace + EXPLAIN ANALYZE to stderr and /traces; 0 disables")
 	metricsJSON := flag.Bool("metrics-json", false, "render the final shutdown metrics flush as JSON instead of the text report")
+	dataDir := flag.String("data-dir", "", "persistent storage root (one subdirectory per table): tables load from it on boot instead of regenerating, appends flush to immutable column segments on graceful shutdown, and zone maps add the segment-pruned scan access path; empty keeps the catalog purely in memory")
+	spillDir := flag.String("spill-dir", "", "directory for out-of-core spill partition files (unlinked at creation); empty uses the system temp directory")
 	flag.Parse()
 
 	stats := repro.NewStatsStoreWith(repro.StatsStoreOptions{
@@ -175,6 +192,9 @@ func main() {
 
 		ResultCacheBytes: *resultCacheMB << 20,
 
+		DataDir:  *dataDir,
+		SpillDir: *spillDir,
+
 		TraceEvents:    *traceEvents,
 		TraceSlowQuery: *slowQuery,
 		TraceOnSlow: func(dump string) {
@@ -183,6 +203,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		info := srv.StorageInfo()
+		fmt.Fprintf(os.Stderr, "reproserve: storage: loaded %d tables (%d rows) from %s, seeded %d from generated data\n",
+			info.Loaded, info.Rows, *dataDir, info.Seeded)
 	}
 
 	if *httpAddr != "" {
@@ -240,7 +265,11 @@ func main() {
 // harness) can collect them.
 func shutdown(srv *repro.Server, statsFile string, asJSON bool) {
 	start := time.Now()
-	srv.Shutdown()
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "reproserve: storage flush: %v\n", err)
+	} else if info := srv.StorageInfo(); info.Loaded+info.Seeded > 0 {
+		fmt.Fprintf(os.Stderr, "reproserve: storage: flushed %d tables\n", info.Loaded+info.Seeded)
+	}
 	if statsFile != "" {
 		if err := srv.Stats().SaveFile(statsFile); err != nil {
 			fmt.Fprintf(os.Stderr, "reproserve: %v (previous snapshot left intact)\n", err)

@@ -8,8 +8,11 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
 // DefaultHistogramBuckets is the bucket count used when analyzing tables.
@@ -25,8 +28,10 @@ type ColStats struct {
 // Table is a base table: schema, optional row data, physical design and
 // statistics. Rows are fixed-arity []int64 records; strings and decimals are
 // dictionary/fixed-point encoded by the workload generators. Alongside the
-// row-major Rows, the table maintains a column-major mirror (see Columns)
-// that the vectorized executor scans as zero-copy column windows.
+// row-major Rows, the table binds to a storage.Backend holding the
+// column-major mirror (see ColumnSnapshot) that the vectorized executor
+// scans as zero-copy column windows. The default backend is a volatile
+// MemStore; persistent deployments bind a DiskStore via Catalog.BindDir.
 type Table struct {
 	Name     string
 	ColNames []string
@@ -38,11 +43,11 @@ type Table struct {
 	Indexes  []int // column offsets carrying an index, ascending
 	SortedBy int   // column offset of the physical sort order, or -1
 
-	// column-major mirror of Rows: colData[c][i] == Rows[i][c]. Built by
-	// Analyze (or lazily by Columns) and invalidated by Append; all
-	// columns share one contiguous backing array.
-	colData [][]int64
-	colRows int
+	// mu serializes mutators (Append, Analyze, store binding) and the
+	// store-resync check; executions never hold it while scanning — they
+	// read an immutable storage.Snapshot instead.
+	mu    sync.Mutex
+	store storage.Backend
 
 	// dataVersion counts data mutations: every Append and every Analyze
 	// (Rows may have been replaced wholesale before an Analyze) bumps it.
@@ -50,7 +55,7 @@ type Table struct {
 	// results above all — pins the version it read and treats any later
 	// value as an invalidation signal. A spurious bump (an Analyze that
 	// changed nothing) costs a rematerialization, never a wrong result.
-	dataVersion uint64
+	dataVersion atomic.Uint64
 }
 
 // NewTable creates an empty table with the given schema. SortedBy defaults
@@ -107,72 +112,128 @@ func (t *Table) HasIndex(off int) bool {
 }
 
 // Append adds a row. The caller must Analyze afterwards to refresh stats.
+// It panics on arity mismatch or a storage failure; mutation paths that
+// must surface storage errors (persistent backends) use AppendRows.
 func (t *Table) Append(row []int64) {
-	if len(row) != len(t.ColNames) {
-		panic(fmt.Sprintf("catalog: row arity %d != schema arity %d for %s",
-			len(row), len(t.ColNames), t.Name))
+	if err := t.AppendRows([][]int64{row}); err != nil {
+		panic(fmt.Sprintf("catalog: append to %s: %v", t.Name, err))
 	}
-	t.Rows = append(t.Rows, row)
-	t.colData = nil // column mirror is stale until the next Analyze/Columns
-	t.dataVersion++
+}
+
+// AppendRows adds a batch of rows through the bound storage backend and
+// bumps the data version. In-flight executions are unaffected: they keep
+// reading the storage snapshot they captured, which appends never mutate.
+func (t *Table) AppendRows(rows [][]int64) error {
+	for _, row := range rows {
+		if len(row) != len(t.ColNames) {
+			return fmt.Errorf("row arity %d != schema arity %d", len(row), len(t.ColNames))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.store != nil {
+		// Resync first if a legacy path replaced Rows since the last sync,
+		// then append through the backend so the publication is atomic.
+		if t.store.Snapshot().N != len(t.Rows) {
+			t.store.ResetRows(t.Rows)
+		}
+		if err := t.store.Append(rows); err != nil {
+			return err
+		}
+	}
+	// With no backend bound yet (bulk load before the first Analyze), rows
+	// accumulate here and the mirror is built once, at Analyze.
+	t.Rows = append(t.Rows, rows...)
+	t.dataVersion.Add(1)
+	return nil
 }
 
 // DataVersion returns the table's data version: a counter bumped by every
 // mutation of the stored rows (Append, wholesale replacement via Analyze).
 // Consumers of materialized derived state compare the version they captured
 // at materialization time against the current one to detect staleness.
-func (t *Table) DataVersion() uint64 { return t.dataVersion }
+func (t *Table) DataVersion() uint64 { return t.dataVersion.Load() }
+
+// SetDataVersion seeds the version counter, e.g. with the value a
+// persistent backend recorded at its last flush, so versions stay monotonic
+// across restarts.
+func (t *Table) SetDataVersion(v uint64) { t.dataVersion.Store(v) }
+
+// Bind attaches a storage backend. The backend's snapshot must already hold
+// the table's rows (or be resynced by the next Analyze/ColumnSnapshot).
+func (t *Table) Bind(st storage.Backend) {
+	t.mu.Lock()
+	t.store = st
+	t.mu.Unlock()
+}
+
+// Store returns the bound storage backend, creating and populating the
+// default in-memory backend on first use.
+func (t *Table) Store() storage.Backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncedStoreLocked()
+}
+
+// syncedStoreLocked returns the backend, lazily bound and resynced to Rows
+// if a legacy path replaced them wholesale. Caller holds t.mu.
+func (t *Table) syncedStoreLocked() storage.Backend {
+	if t.store == nil {
+		t.store = storage.NewMemStoreRows(len(t.ColNames), t.Rows)
+		return t.store
+	}
+	if t.store.Snapshot().N != len(t.Rows) {
+		t.store.ResetRows(t.Rows)
+	}
+	return t.store
+}
+
+// ColumnSnapshot returns an immutable column-major view of the rows:
+// cols[c][i] == Rows[i][c] for i < n. The pair is consistent — later
+// appends publish new snapshots without disturbing this one — so it is safe
+// to scan concurrently with mutations.
+func (t *Table) ColumnSnapshot() (cols [][]int64, n int) {
+	t.mu.Lock()
+	snap := t.syncedStoreLocked().Snapshot()
+	t.mu.Unlock()
+	return snap.Cols, snap.N
+}
 
 // Columns returns the column-major mirror of Rows: Columns()[c][i] ==
-// Rows[i][c], with every column a window of one contiguous allocation. The
-// mirror is built by Analyze — callers that replace Rows wholesale (window
-// materialization) must Analyze before executing, which they already do for
-// statistics. Lazy (re)builds here are NOT safe under concurrent readers;
-// concurrent execution paths only ever see tables whose mirror Analyze has
-// already built.
+// Rows[i][c]. It is a convenience over ColumnSnapshot for callers that read
+// the row count separately; concurrent mutators make that pair racy, so
+// execution paths use ColumnSnapshot.
 func (t *Table) Columns() [][]int64 {
-	if t.colData != nil && t.colRows == len(t.Rows) {
-		return t.colData
-	}
-	w := len(t.ColNames)
-	n := len(t.Rows)
-	cols := make([][]int64, w)
-	flat := make([]int64, w*n)
-	for c := range cols {
-		cols[c] = flat[c*n : (c+1)*n : (c+1)*n]
-	}
-	for i, r := range t.Rows {
-		for c, v := range r {
-			cols[c][i] = v
-		}
-	}
-	t.colData = cols
-	t.colRows = n
+	cols, _ := t.ColumnSnapshot()
 	return cols
 }
 
 // Analyze recomputes NumRows and per-column statistics (distincts, min/max,
-// equi-depth histograms) from the stored rows.
+// equi-depth histograms) from the stored rows, and resyncs the storage
+// backend (Rows may have been replaced wholesale since the last sync).
 func (t *Table) Analyze(buckets int) {
 	if buckets <= 0 {
 		buckets = DefaultHistogramBuckets
 	}
+	t.mu.Lock()
 	t.NumRows = float64(len(t.Rows))
 	t.Cols = make([]ColStats, len(t.ColNames))
-	t.colData = nil // Rows may have been replaced wholesale; rebuild
-	t.dataVersion++
-	if len(t.Rows) == 0 {
+	if t.store == nil {
+		t.store = storage.NewMemStoreRows(len(t.ColNames), t.Rows)
+	} else {
+		t.store.ResetRows(t.Rows)
+	}
+	t.dataVersion.Add(1)
+	snap := t.store.Snapshot()
+	t.mu.Unlock()
+	if snap.N == 0 {
 		for i := range t.Cols {
 			t.Cols[i] = ColStats{Distinct: 1}
 		}
-		t.Columns()
 		return
 	}
-	// Building histograms already transposes each column; Columns reuses
-	// that transposition as the executor's column-major mirror.
-	cols := t.Columns()
 	for c := range t.ColNames {
-		h := stats.BuildHistogram(cols[c], buckets)
+		h := stats.BuildHistogram(snap.Cols[c], buckets)
 		t.Cols[c] = ColStats{
 			Distinct: h.Distinct(),
 			Min:      h.Min(),
@@ -180,6 +241,19 @@ func (t *Table) Analyze(buckets int) {
 			Hist:     h,
 		}
 	}
+}
+
+// ZoneCols returns the column offsets whose segment zone maps make
+// predicate pruning effective on the bound backend (none for the in-memory
+// store). The optimizer enumerates segment-pruned scans over these.
+func (t *Table) ZoneCols() []int {
+	t.mu.Lock()
+	st := t.store
+	t.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.ZoneCols()
 }
 
 // SetSyntheticStats configures statistics without row data, for

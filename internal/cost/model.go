@@ -160,6 +160,18 @@ func (m *Model) IndexCols(rel int) []int { return m.tables[rel].Indexes }
 // SortedCol implements relalg.SchemaInfo.
 func (m *Model) SortedCol(rel int) int { return m.tables[rel].SortedBy }
 
+// ZoneCols implements relalg.ZoneInfo: the columns whose segment zone maps
+// make predicate pruning effective on rel's storage backend. Tables on the
+// default in-memory backend report none, so the plan space is unchanged
+// unless a persistent backend is bound.
+func (m *Model) ZoneCols(rel int) []int { return m.tables[rel].ZoneCols() }
+
+// segScanSlack is the read fraction added to the zone-column selectivity
+// when costing a segment-pruned scan: segments whose key range straddles a
+// predicate boundary must still be read whole, so pruning rarely achieves
+// the predicate's exact selectivity.
+const segScanSlack = 0.10
+
 // Table returns the resolved base table of a query relation.
 func (m *Model) Table(rel int) *catalog.Table { return m.tables[rel] }
 
@@ -309,6 +321,28 @@ func (m *Model) LocalCost(alt relalg.Alt, s relalg.RelSet, prop relalg.Prop) flo
 		fetched := math.Max(m.baseRows[rel]*sel, 1)
 		return m.scanFactor[rel] * (p.IndexLookup + fetched*(p.RandPage+p.CPUTuple))
 
+	case relalg.PhySegScan:
+		// A sequential scan that reads only the fraction of segments the
+		// zone maps on alt.IdxCol cannot prune. The read fraction is
+		// approximated by the selectivity of the local predicates on the
+		// zone column plus slack for partially overlapping segments; it
+		// never exceeds a full table scan, and at moderate selectivity it
+		// undercuts an index scan's random fetches.
+		rel := alt.Rel
+		sel := 1.0
+		for _, pr := range m.Q.ScanPredsOf(rel) {
+			if pr.Col == alt.IdxCol {
+				s, err := m.predSel(m.tables[rel], pr)
+				if err == nil {
+					sel *= s
+				}
+			}
+		}
+		frac := math.Min(1, sel+segScanSlack)
+		rows := m.baseRows[rel]
+		pages := rows * m.tables[rel].Width / p.PageSize
+		return m.scanFactor[rel] * frac * (p.SeqPage*pages + p.CPUTuple*rows)
+
 	case relalg.PhyHashJoin:
 		lc := m.Card(alt.LExpr)
 		rc := m.Card(alt.RExpr)
@@ -348,7 +382,7 @@ func (m *Model) LocalCost(alt relalg.Alt, s relalg.RelSet, prop relalg.Prop) flo
 // inner is rel.
 func ScanAffects(alt relalg.Alt, rel int) bool {
 	switch alt.Phy {
-	case relalg.PhyTableScan, relalg.PhyIndexScan:
+	case relalg.PhyTableScan, relalg.PhyIndexScan, relalg.PhySegScan:
 		return alt.Rel == rel
 	case relalg.PhyIndexNLJoin:
 		return alt.LExpr == relalg.Single(rel)

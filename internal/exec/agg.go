@@ -501,7 +501,7 @@ func (a *vecHashAggOp) Open() error {
 		// restart in-memory pre-aggregation on the remaining input.
 		if sp == nil {
 			sp = newAggSpill(a.spec, a.mem)
-			if part, err = newSpillPartitioner(sp.pw, sp.keyOffs, 0); err != nil {
+			if part, err = newSpillPartitioner(a.mem, sp.pw, sp.keyOffs, 0); err != nil {
 				part = nil
 				return fail(errors.Join(err, a.in.Close()))
 			}

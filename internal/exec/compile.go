@@ -102,6 +102,12 @@ type Compiler struct {
 	// set MemBudgetBytes. A Compiler carrying a tracker is single-execution:
 	// reusing it across queries would accumulate charges.
 	Mem *MemTracker
+	// SpillDir is the directory spill partition files are created in when
+	// out-of-core operators go to disk ("" = system temp directory). A
+	// write failure there (disk full, bad mount) surfaces as the query's
+	// error; the partition files themselves are unlinked at creation, so
+	// nothing leaks even on abrupt failure.
+	SpillDir string
 	// decisions maps plan nodes to their resolved cache decision for the
 	// current CompileVec call.
 	decisions map[*relalg.Plan]*cacheDecision
@@ -190,6 +196,9 @@ func (c *Compiler) CompileVec(plan *relalg.Plan) (VecIterator, *RunStats, error)
 	c.resolveCache()
 	if c.Mem == nil && c.MemBudgetBytes > 0 {
 		c.Mem = NewMemTracker(c.MemBudgetBytes)
+	}
+	if c.SpillDir != "" {
+		c.Mem.SetSpillDir(c.SpillDir)
 	}
 	if c.Prof != nil {
 		c.Prof.workers = c.Parallelism
@@ -330,7 +339,12 @@ func (c *Compiler) cols(rel int) (colData, error) {
 			return transposeRows(rows, len(t.ColNames)), nil
 		}
 	}
-	return colData{cols: t.Columns(), n: len(t.Rows)}, nil
+	// ColumnSnapshot returns a consistent (columns, row count) pair from
+	// the storage backend's atomically published snapshot, so compiling
+	// concurrently with appends can never pair fresh columns with a stale
+	// count (or vice versa).
+	cols, n := t.ColumnSnapshot()
+	return colData{cols: cols, n: n}, nil
 }
 
 // compile returns the iterator and its output schema (the ColID of every
@@ -517,7 +531,20 @@ func (c *Compiler) compileVecNode(p *relalg.Plan, stats *RunStats) (VecIterator,
 		if err != nil {
 			return nil, nil, err
 		}
-		v := c.scanVec(data, ScanFilter{Conds: conds})
+		var v VecIterator
+		if p.Phy == relalg.PhySegScan && c.Data == nil {
+			// Segment-pruned access path: scan through the storage
+			// backend, which skips segments whose zone maps exclude the
+			// pushed-down conditions. Data-overridden relations (stream
+			// windows) have no backend and fall through to the plain scan.
+			t, err := c.Cat.Table(c.Q.Rels[p.Rel].Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			v = newStorageScan(t.Store(), storagePreds(conds), ScanFilter{Conds: conds})
+		} else {
+			v = c.scanVec(data, ScanFilter{Conds: conds})
+		}
 		if p.Prop.Kind == relalg.PropSorted {
 			off, err := colOffset(schema, p.Prop.Col)
 			if err != nil {
@@ -680,7 +707,8 @@ func (c *Compiler) compilePipeline(p *relalg.Plan, stats *RunStats, minStages in
 	if len(spine) < minStages {
 		return nil, nil, false, nil
 	}
-	if cur.Log != relalg.LogScan || cur.Prop.Kind == relalg.PropSorted || cur.Phy == relalg.PhyIndexScan {
+	if cur.Log != relalg.LogScan || cur.Prop.Kind == relalg.PropSorted ||
+		cur.Phy == relalg.PhyIndexScan || cur.Phy == relalg.PhySegScan {
 		return nil, nil, false, nil
 	}
 	data, err := c.cols(cur.Rel)

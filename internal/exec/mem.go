@@ -40,6 +40,10 @@ type MemTracker struct {
 	spillPartitions atomic.Int64
 	spillBytes      atomic.Int64
 	spillRecursions atomic.Int64
+
+	// spillDir, root only: the directory spill partition files are created
+	// in. Empty means the system temp directory.
+	spillDir string
 }
 
 // NewMemTracker returns a root tracker enforcing a byte budget; limit 0
@@ -48,6 +52,23 @@ func NewMemTracker(limit int64) *MemTracker {
 	t := &MemTracker{limit: limit}
 	t.root = t
 	return t
+}
+
+// SetSpillDir directs spill partition files of this tracker's query into
+// dir ("" = system temp directory). Call before execution starts.
+func (t *MemTracker) SetSpillDir(dir string) {
+	if t != nil {
+		t.root.spillDir = dir
+	}
+}
+
+// SpillDir returns the directory spill files should be created in, "" for
+// the system default. Nil-safe.
+func (t *MemTracker) SpillDir() string {
+	if t == nil {
+		return ""
+	}
+	return t.root.spillDir
 }
 
 // Child returns a tracker whose charges also count against t's root budget.

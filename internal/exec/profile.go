@@ -126,6 +126,8 @@ func (pp *PlanProfile) format(q *relalg.Query, p *relalg.Plan, stats *RunStats, 
 		}
 		if p.Phy == relalg.PhyIndexScan {
 			fmt.Fprintf(b, "IndexScan %s key=%s", name, q.ColString(p.IdxCol))
+		} else if p.Phy == relalg.PhySegScan {
+			fmt.Fprintf(b, "SegScan %s zone=%s", name, q.ColString(p.IdxCol))
 		} else {
 			fmt.Fprintf(b, "TableScan %s", name)
 		}

@@ -51,8 +51,8 @@ type spillWriter struct {
 	scratch []byte
 }
 
-func newSpillWriter(width int) (*spillWriter, error) {
-	f, err := os.CreateTemp("", "repro-spill-*")
+func newSpillWriter(dir string, width int) (*spillWriter, error) {
+	f, err := os.CreateTemp(dir, "repro-spill-*")
 	if err != nil {
 		return nil, fmt.Errorf("exec: spill: %w", err)
 	}
@@ -192,10 +192,13 @@ type spillPartitioner struct {
 	hs    []uint64
 }
 
-func newSpillPartitioner(width int, keys []int, level int) (*spillPartitioner, error) {
+// newSpillPartitioner creates the fanout writers in the tracker's spill
+// directory (nil tracker or unset directory = system temp).
+func newSpillPartitioner(tr *MemTracker, width int, keys []int, level int) (*spillPartitioner, error) {
 	s := &spillPartitioner{level: level, keys: keys}
+	dir := tr.SpillDir()
 	for p := range s.parts {
-		w, err := newSpillWriter(width)
+		w, err := newSpillWriter(dir, width)
 		if err != nil {
 			s.abort()
 			return nil, err
@@ -269,7 +272,7 @@ func (s *spillPartitioner) abort() {
 // repartitionRun re-reads a run and splits it one level deeper — the
 // recursive repartitioning step for skewed partitions.
 func repartitionRun(r *spillRun, keys []int, level int, tr *MemTracker) ([]*spillRun, error) {
-	part, err := newSpillPartitioner(r.width, keys, level)
+	part, err := newSpillPartitioner(tr, r.width, keys, level)
 	if err != nil {
 		return nil, err
 	}

@@ -147,7 +147,7 @@ func (sp *aggSpill) mergeRun(run *spillRun, level int) ([]Row, error) {
 			continue
 		}
 		sp.mem.noteSpillRecursion()
-		if part, err = newSpillPartitioner(sp.pw, sp.keyOffs, level+1); err != nil {
+		if part, err = newSpillPartitioner(sp.mem, sp.pw, sp.keyOffs, level+1); err != nil {
 			sp.mem.Release(charged)
 			return nil, err
 		}

@@ -264,7 +264,7 @@ func (j *vecHashJoinOp) openSpill(sofar colData, pending *Batch, charged int64) 
 	if bWidth == 0 && pending != nil {
 		bWidth = pending.Width()
 	}
-	bp, err := newSpillPartitioner(bWidth, j.lKeys, 0)
+	bp, err := newSpillPartitioner(j.mem, bWidth, j.lKeys, 0)
 	if err != nil {
 		return err
 	}
@@ -332,7 +332,7 @@ func (j *vecHashJoinOp) openSpill(sofar colData, pending *Batch, charged int64) 
 		}
 		if pp == nil {
 			pWidth = b.Width()
-			if pp, err = newSpillPartitioner(pWidth, j.rKeys, 0); err != nil {
+			if pp, err = newSpillPartitioner(j.mem, pWidth, j.rKeys, 0); err != nil {
 				closeRuns(bruns)
 				return err
 			}

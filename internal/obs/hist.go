@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -92,7 +93,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
+	// Nearest-rank with ceiling: the q-quantile is the smallest value with
+	// at least ceil(q·total) observations at or below it. Flooring here
+	// under-reports small counts — with two observations a floored p99
+	// lands on rank 1 and returns the MINIMUM instead of the maximum.
+	rank := uint64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}

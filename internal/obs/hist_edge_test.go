@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Edge cases the tolerance-based quantile test cannot catch: zero
+// observations, one observation, tiny counts where nearest-rank flooring
+// picks the wrong end, and a fully saturated single bucket.
+
+func TestHistogramEmptyRendersZeroEverywhere(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 || s.Mean() != 0 {
+		t.Fatalf("empty Summary not all-zero: %+v", s)
+	}
+	is := h.SummaryInt64()
+	if is.Count != 0 || is.Sum != 0 || is.P50 != 0 || is.P95 != 0 || is.P99 != 0 || is.Max != 0 {
+		t.Fatalf("empty SummaryInt64 not all-zero: %+v", is)
+	}
+	var b strings.Builder
+	h.WritePromHistogram(&b, "repro_empty_seconds", "edge")
+	h.WritePromIntHistogram(&b, "repro_empty_bytes", "edge")
+	text := b.String()
+	for _, bad := range []string{"NaN", "nan"} {
+		if strings.Contains(text, bad) {
+			t.Fatalf("empty prom text contains %q:\n%s", bad, text)
+		}
+	}
+	for _, want := range []string{"repro_empty_seconds_count 0", "repro_empty_seconds_p99 0", "repro_empty_bytes_p50 0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("empty prom text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	v := 3 * time.Millisecond
+	h.Observe(v)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < v || got > v*2 {
+			t.Fatalf("single-observation Quantile(%v) = %v, want within one bucket above %v", q, got, v)
+		}
+	}
+	if h.Summary().Max != v {
+		t.Fatalf("Max = %v, want %v", h.Summary().Max, v)
+	}
+}
+
+func TestHistogramSmallCountUpperQuantiles(t *testing.T) {
+	// Two observations three orders of magnitude apart: p99 must report
+	// the larger one. The floored nearest-rank computation returned the
+	// SMALLER (rank 1 of 2), hiding the slow outlier entirely.
+	var h Histogram
+	h.Observe(1 * time.Millisecond)
+	h.Observe(1 * time.Second)
+	if got := h.Quantile(0.99); got < time.Second {
+		t.Fatalf("p99 of {1ms, 1s} = %v, want >= 1s", got)
+	}
+	if got := h.Quantile(0.50); got > 2*time.Millisecond {
+		t.Fatalf("p50 of {1ms, 1s} = %v, want in the 1ms bucket", got)
+	}
+}
+
+func TestHistogramSaturatedBucket(t *testing.T) {
+	var h Histogram
+	v := 42 * time.Microsecond
+	for i := 0; i < 100000; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.001, 0.5, 0.999} {
+		got := h.Quantile(q)
+		if got < v || got > v*2 {
+			t.Fatalf("saturated-bucket Quantile(%v) = %v, want within one bucket above %v", q, got, v)
+		}
+	}
+	// The top bucket ends exactly at MaxInt64; an extreme sample must not
+	// overflow or disappear.
+	h.Observe(time.Duration(math.MaxInt64))
+	if got := h.Quantile(1); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("Quantile(1) with MaxInt64 sample = %v", got)
+	}
+}

@@ -17,6 +17,17 @@ type SchemaInfo interface {
 	SortedCol(rel int) int
 }
 
+// ZoneInfo extends SchemaInfo for storage backends that keep per-segment
+// zone maps (min/max summaries). A schema that also implements ZoneInfo
+// lets the enumerator offer PhySegScan — a sequential scan that skips
+// segments a local predicate provably excludes — as a third access path
+// alongside table and index scans.
+type ZoneInfo interface {
+	// ZoneCols returns the column offsets of relation rel whose segment
+	// zone maps make predicate pruning effective, or nil.
+	ZoneCols(rel int) []int
+}
+
 // SpaceOptions selects which physical alternatives the enumerator generates.
 // The defaults enable the full space used in the paper's evaluation
 // (pipelined hash join, sort-merge join, index nested-loops join, sort
@@ -149,6 +160,19 @@ func splitLeaf(q *Query, schema SchemaInfo, opts SpaceOptions, rel int, p Prop) 
 			if hasInt(idxCols, pr.Col.Off) {
 				alts = append(alts, Alt{Log: LogScan, Phy: PhyIndexScan, Rel: rel, IdxCol: pr.Col})
 				break
+			}
+		}
+		// A segment-pruned scan competes when the backend keeps zone maps
+		// and a local predicate lands on a zone column (IdxCol doubles as
+		// the zone column, exactly as it names the key for index scans).
+		if zi, ok := schema.(ZoneInfo); ok {
+			if zoneCols := zi.ZoneCols(rel); len(zoneCols) > 0 {
+				for _, pr := range q.ScanPredsOf(rel) {
+					if hasInt(zoneCols, pr.Col.Off) {
+						alts = append(alts, Alt{Log: LogScan, Phy: PhySegScan, Rel: rel, IdxCol: pr.Col})
+						break
+					}
+				}
 			}
 		}
 		return alts

@@ -69,6 +69,9 @@ func (p *Plan) Signature() string {
 		if p.Phy == PhyIndexScan {
 			return fmt.Sprintf("ix%d.%d", p.Rel, p.IdxCol.Off)
 		}
+		if p.Phy == PhySegScan {
+			return fmt.Sprintf("ss%d.%d", p.Rel, p.IdxCol.Off)
+		}
 		return fmt.Sprintf("ts%d", p.Rel)
 	case LogEnforce:
 		return fmt.Sprintf("sort[%s](%s)", p.Prop, p.Left.Signature())
@@ -98,6 +101,8 @@ func (p *Plan) explain(q *Query, b *strings.Builder, depth int) {
 		}
 		if p.Phy == PhyIndexScan {
 			fmt.Fprintf(b, "IndexScan %s key=%s", name, q.ColString(p.IdxCol))
+		} else if p.Phy == PhySegScan {
+			fmt.Fprintf(b, "SegScan %s zone=%s", name, q.ColString(p.IdxCol))
 		} else {
 			fmt.Fprintf(b, "TableScan %s", name)
 		}

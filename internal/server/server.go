@@ -154,6 +154,22 @@ type Options struct {
 	// 0 keeps materializations until evicted or invalidated.
 	ResultCacheStaleAfter uint64
 
+	// DataDir binds every catalog table to a persistent log-structured
+	// storage backend rooted at this directory (one subdirectory per
+	// table): tables with data on disk are LOADED from it, replacing
+	// whatever the process generated, and tables with empty directories
+	// are seeded from their in-memory rows. Shutdown flushes unflushed
+	// appends as immutable column segments, so a restart serves the same
+	// data without regeneration. The bound backends also publish zone maps
+	// that add the segment-pruned scan access path to the plan space.
+	// Empty keeps today's purely in-memory catalog.
+	DataDir string
+	// SpillDir is the directory out-of-core operators create their
+	// (immediately unlinked) spill partition files in. Empty uses the
+	// system temp directory. An unwritable directory surfaces as a query
+	// error at spill time, never a wedged query.
+	SpillDir string
+
 	// Dict resolves string literals in SQL text to dictionary codes and
 	// Date encodes date literals; see internal/sqlmini.
 	Dict map[string]int64
@@ -195,11 +211,13 @@ type Server struct {
 	cat      *catalog.Catalog
 	opts     Options
 	stats    *fbstore.StatsStore
-	resCache *rescache.Cache // nil unless Options.ResultCacheBytes > 0
+	resCache *rescache.Cache     // nil unless Options.ResultCacheBytes > 0
+	bind     catalog.BindSummary // what DataDir binding found at New
 
 	sem     chan struct{} // admission slots
 	closed  atomic.Bool   // set by Shutdown: no new executions admitted
 	drainMu sync.Mutex    // serializes Shutdown drains
+	flushed bool          // under drainMu: storage flush ran (first Shutdown)
 
 	// The memory admission gate (MemCeilingBytes): memInUse is the sum of
 	// admitted queries' budgets, waiters block on memCond until a release
@@ -279,6 +297,17 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 				opts.MemBudgetBytes, opts.MemCeilingBytes)
 		}
 	}
+	var bind catalog.BindSummary
+	if opts.DataDir != "" {
+		// Bind before anything reads the catalog: loaded tables replace
+		// their generated rows and re-analyze, so plans, statistics, and
+		// the result cache all see the persisted data from the start.
+		var err error
+		bind, err = cat.BindDir(opts.DataDir, catalog.DefaultHistogramBuckets)
+		if err != nil {
+			return nil, fmt.Errorf("server: bind data dir: %w", err)
+		}
+	}
 	stats := opts.Stats
 	if stats == nil {
 		stats = fbstore.NewWithOptions(fbstore.Options{
@@ -298,6 +327,7 @@ func New(cat *catalog.Catalog, opts Options) (*Server, error) {
 		opts:     opts,
 		stats:    stats,
 		resCache: rc,
+		bind:     bind,
 		sem:      make(chan struct{}, opts.MaxConcurrent),
 		entries:  map[string]*planEntry{},
 		latencyH: obs.NewHistogram(),
@@ -343,12 +373,20 @@ func (s *Server) Session() *Session {
 	return &Session{srv: s, ID: s.sessions.Add(1)}
 }
 
+// StorageInfo reports what the DataDir binding found at New: how many
+// tables loaded from disk versus were seeded from generated rows, and the
+// total rows loaded. Zero values when Options.DataDir is unset.
+func (s *Server) StorageInfo() catalog.BindSummary { return s.bind }
+
 // Shutdown drains the server for a graceful stop: no new executions are
 // admitted (Exec returns an error), and Shutdown blocks until every
-// in-flight execution has released its admission slot. Callers stop their
-// listeners first, then Shutdown, then read the final Metrics. Safe to call
-// more than once; every call waits for the drain.
-func (s *Server) Shutdown() {
+// in-flight execution has released its admission slot, then — when
+// Options.DataDir is set — flushes every table's unflushed appends to its
+// persistent backend as immutable segments. Callers stop their listeners
+// first, then Shutdown, then read the final Metrics. Safe to call more than
+// once; every call waits for the drain (the storage flush runs on the first
+// call only — the backends close with it).
+func (s *Server) Shutdown() error {
 	s.closed.Store(true)
 	// Serialize drains: two callers acquiring admission slots concurrently
 	// could split the pool between them and deadlock.
@@ -361,6 +399,11 @@ func (s *Server) Shutdown() {
 	for i := 0; i < cap(s.sem); i++ {
 		<-s.sem
 	}
+	if s.opts.DataDir != "" && !s.flushed {
+		s.flushed = true
+		return s.cat.FlushDir()
+	}
+	return nil
 }
 
 // Session is one client's handle on the server. Safe for concurrent use,
@@ -975,6 +1018,7 @@ func (st *Stmt) exec(prof *exec.PlanProfile) (res *Result, analyzed string, err 
 		Q: e.q, Cat: srv.cat, Parallelism: srv.opts.Parallelism,
 		Cache: srv.resCache, CacheCands: snap.cands, Prof: prof,
 		MemBudgetBytes: srv.opts.MemBudgetBytes, Mem: mem,
+		SpillDir: srv.opts.SpillDir,
 	}
 	v, stats, err := comp.CompileVec(snap.plan)
 	if err != nil {

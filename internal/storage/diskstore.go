@@ -1,0 +1,482 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DiskStore is the log-structured persistent backend. On disk a table is a
+// directory holding:
+//
+//   - MANIFEST.json — format version, schema shape, data version, and the
+//     ordered segment list; replaced atomically (tmp + rename) so a crash
+//     mid-flush leaves the previous manifest intact.
+//   - wal.log — the append log: framed row batches written before they are
+//     acknowledged, replayed (tolerating a torn tail) on open.
+//   - seg-XXXXXX.seg — immutable column segments: rows sorted by the
+//     table's clustered column, per-column zone maps (min/max) in the
+//     header, then column-contiguous little-endian int64 data.
+//   - seg-XXXXXX.ixN — ordered index segments for indexed column N:
+//     (order-preserving key, global row id) pairs sorted by key.
+//
+// All reads are served from an embedded MemStore; the files exist to
+// survive restarts. Flush compacts the unflushed tail (WAL rows plus any
+// wholesale reset) into a new segment and truncates the log. Zone-map
+// pruning stays multiset-sound even though segments are sorted at flush
+// while the in-memory mirror keeps arrival order: a segment's zone is the
+// min/max of the SAME row multiset its in-memory span holds, so a zone that
+// excludes a predicate excludes every row of the span.
+type DiskStore struct {
+	dir       string
+	name      string
+	width     int
+	sortedBy  int
+	indexCols []int
+
+	mem *MemStore
+
+	mu         sync.Mutex
+	wal        *os.File
+	walRows    int // rows in the log (the unflushed tail), when not dirtyAll
+	segs       []segMeta
+	segRows    int // rows covered by segments == start of the tail span
+	seq        int // next segment file number
+	dirtyAll   bool
+	loadedVer  uint64
+	indexes    map[int]*OrderedIndex
+	indexValid bool
+}
+
+// segMeta is one segment's manifest entry plus its loaded zone maps.
+type segMeta struct {
+	File  string `json:"file"`
+	Rows  int    `json:"rows"`
+	zones []Zone
+}
+
+type manifest struct {
+	Format      int       `json:"format"`
+	Name        string    `json:"name"`
+	Width       int       `json:"width"`
+	SortedBy    int       `json:"sorted_by"`
+	DataVersion uint64    `json:"data_version"`
+	Seq         int       `json:"seq"`
+	IndexCols   []int     `json:"index_cols"`
+	Segments    []segMeta `json:"segments"`
+}
+
+const (
+	manifestFormat = 1
+	manifestName   = "MANIFEST.json"
+	walName        = "wal.log"
+	segMagic       = "REPROSG1"
+	ixMagic        = "REPROIX1"
+)
+
+// OpenDiskStore opens (or initializes) the persistent store for one table
+// under dir. Existing segments and the append log are replayed into memory;
+// the store then serves reads at in-memory speed. sortedBy < 0 means no
+// clustered order; indexCols lists columns to maintain ordered index
+// segments for.
+func OpenDiskStore(dir, name string, width, sortedBy int, indexCols []int) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create table dir: %w", err)
+	}
+	s := &DiskStore{
+		dir:       dir,
+		name:      name,
+		width:     width,
+		sortedBy:  sortedBy,
+		indexCols: append([]int(nil), indexCols...),
+		mem:       NewMemStore(width),
+		indexes:   map[int]*OrderedIndex{},
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	wal, err := s.openWAL()
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// load replays the manifest's segments and then the WAL into memory.
+func (s *DiskStore) load() error {
+	var m manifest
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory, or a crash before the first flush: nothing but
+		// (possibly) a log to replay.
+	case err != nil:
+		return fmt.Errorf("storage: read manifest: %w", err)
+	default:
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("storage: parse manifest: %w", err)
+		}
+		if m.Format != manifestFormat {
+			return fmt.Errorf("storage: manifest format %d not supported", m.Format)
+		}
+		if m.Width != s.width {
+			return fmt.Errorf("storage: table %s has %d columns on disk, %d in schema", s.name, m.Width, s.width)
+		}
+	}
+	s.loadedVer = m.DataVersion
+	s.seq = m.Seq
+	var ixKeys, ixRows map[int][]int64
+	if len(s.indexCols) > 0 {
+		ixKeys = map[int][]int64{}
+		ixRows = map[int][]int64{}
+	}
+	for _, sm := range m.Segments {
+		zones, rows, err := readSegment(filepath.Join(s.dir, sm.File), s.width)
+		if err != nil {
+			return fmt.Errorf("storage: segment %s: %w", sm.File, err)
+		}
+		if len(rows) != sm.Rows {
+			return fmt.Errorf("storage: segment %s holds %d rows, manifest says %d", sm.File, len(rows), sm.Rows)
+		}
+		if err := s.mem.Append(rows); err != nil {
+			return err
+		}
+		s.segs = append(s.segs, segMeta{File: sm.File, Rows: sm.Rows, zones: zones})
+		s.segRows += sm.Rows
+		for _, col := range s.indexCols {
+			k, r, err := readIndexSegment(ixPath(filepath.Join(s.dir, sm.File), col), col)
+			if err != nil {
+				return fmt.Errorf("storage: index segment for %s col %d: %w", sm.File, col, err)
+			}
+			ixKeys[col] = append(ixKeys[col], k...)
+			ixRows[col] = append(ixRows[col], r...)
+		}
+	}
+	// Replay the append log; its rows are the unflushed tail.
+	walRows, err := replayWAL(filepath.Join(s.dir, walName), s.width, func(rows [][]int64) error {
+		return s.mem.Append(rows)
+	})
+	if err != nil {
+		return err
+	}
+	s.walRows = walRows
+	// The merged on-disk indexes are usable only when they cover every row.
+	s.indexValid = walRows == 0
+	if s.indexValid {
+		for _, col := range s.indexCols {
+			s.indexes[col] = NewOrderedIndex(col, ixKeys[col], ixRows[col])
+		}
+	}
+	return nil
+}
+
+// openWAL opens the log for appending, truncating any torn tail first so
+// new records never follow garbage.
+func (s *DiskStore) openWAL() (*os.File, error) {
+	path := filepath.Join(s.dir, walName)
+	good, err := walGoodPrefix(path, s.width)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	return f, nil
+}
+
+func (s *DiskStore) Kind() string { return "disk" }
+
+func (s *DiskStore) Snapshot() *Snapshot { return s.mem.Snapshot() }
+
+func (s *DiskStore) Append(rows [][]int64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, r := range rows {
+		if len(r) != s.width {
+			return fmt.Errorf("storage: append row has %d values, table has %d columns", len(r), s.width)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("storage: table %s store is closed", s.name)
+	}
+	if err := writeWALRecord(s.wal, rows); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: sync wal: %w", err)
+	}
+	if err := s.mem.Append(rows); err != nil {
+		return err
+	}
+	s.walRows += len(rows)
+	// Unflushed rows are invisible to the persisted indexes.
+	s.indexValid = false
+	return nil
+}
+
+func (s *DiskStore) ResetRows(rows [][]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sameN := len(rows) == s.mem.Snapshot().N
+	s.mem.ResetRows(rows)
+	if sameN && !s.dirtyAll {
+		// The analyze/rebuild path re-materializes the same rows; keep the
+		// segments and refresh their zones from the new snapshot so pruning
+		// stays sound even if values moved within the mirror.
+		s.recomputeZonesLocked()
+		return
+	}
+	// Wholesale replacement: history on disk no longer matches. The next
+	// Flush rewrites everything as one segment.
+	s.dirtyAll = true
+	s.indexValid = false
+}
+
+// recomputeZonesLocked rebuilds every segment's zone maps from the
+// in-memory span it covers. Caller holds s.mu.
+func (s *DiskStore) recomputeZonesLocked() {
+	snap := s.mem.Snapshot()
+	lo := 0
+	for i := range s.segs {
+		hi := lo + s.segs[i].Rows
+		if hi > snap.N {
+			hi = snap.N
+		}
+		s.segs[i].zones = computeZones(snap, lo, hi)
+		lo = hi
+	}
+}
+
+func (s *DiskStore) Scan(preds []Pred, batch int) *SegIter {
+	s.mu.Lock()
+	segs := s.segs
+	segRows := s.segRows
+	dirtyAll := s.dirtyAll
+	s.mu.Unlock()
+	snap := s.mem.Snapshot()
+	if dirtyAll || len(preds) == 0 || len(segs) == 0 {
+		return newSegIter(snap, []span{{0, snap.N}}, 0, batch)
+	}
+	spans := make([]span, 0, len(segs)+1)
+	pruned := 0
+	lo := 0
+	for i := range segs {
+		hi := lo + segs[i].Rows
+		if hi > snap.N {
+			hi = snap.N
+		}
+		if lo >= hi {
+			break
+		}
+		if prunes(segs[i].zones, preds) {
+			pruned += hi - lo
+		} else {
+			spans = appendSpan(spans, span{lo, hi})
+		}
+		lo = hi
+	}
+	if segRows < snap.N {
+		// The unflushed tail has no zone maps; always scan it.
+		spans = appendSpan(spans, span{segRows, snap.N})
+	}
+	return newSegIter(snap, spans, pruned, batch)
+}
+
+// appendSpan coalesces adjacent spans so the iterator windows stay large.
+func appendSpan(spans []span, sp span) []span {
+	if n := len(spans); n > 0 && spans[n-1].hi == sp.lo {
+		spans[n-1].hi = sp.hi
+		return spans
+	}
+	return append(spans, sp)
+}
+
+func (s *DiskStore) ZoneCols() []int {
+	if s.sortedBy < 0 {
+		return nil
+	}
+	return []int{s.sortedBy}
+}
+
+func (s *DiskStore) OrderedIndex(col int) *OrderedIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.indexValid {
+		return nil
+	}
+	return s.indexes[col]
+}
+
+func (s *DiskStore) LoadedVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadedVer
+}
+
+// Flush persists the unflushed tail (or, after a wholesale reset, the full
+// content) as a new sorted segment plus index segments, then rewrites the
+// manifest atomically and truncates the log.
+func (s *DiskStore) Flush(version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("storage: table %s store is closed", s.name)
+	}
+	snap := s.mem.Snapshot()
+	var obsolete []segMeta
+	prevSegs, prevRows := s.segs, s.segRows
+	if s.dirtyAll {
+		// Wholesale rewrite: every existing segment is replaced below. The
+		// old files are deleted only after the new manifest is published,
+		// so a failed flush leaves the previous generation intact.
+		obsolete = s.segs
+		s.segs = nil
+		s.segRows = 0
+	}
+	fail := func(err error) error {
+		if s.dirtyAll {
+			s.segs, s.segRows = prevSegs, prevRows
+		}
+		return err
+	}
+	if s.segRows < snap.N {
+		if err := s.writeSegmentLocked(snap, s.segRows, snap.N); err != nil {
+			return fail(err)
+		}
+	}
+	if err := s.writeManifestLocked(version); err != nil {
+		return fail(err)
+	}
+	s.dirtyAll = false
+	for _, sm := range obsolete {
+		os.Remove(filepath.Join(s.dir, sm.File))
+		for _, col := range s.indexCols {
+			os.Remove(ixPath(filepath.Join(s.dir, sm.File), col))
+		}
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: rewind wal: %w", err)
+	}
+	s.walRows = 0
+	s.loadedVer = version
+	// The fresh index segments refer to on-disk (sorted) row positions; the
+	// in-memory mirror keeps arrival order, so they only become usable at
+	// the next boot.
+	s.indexValid = false
+	return nil
+}
+
+// writeSegmentLocked flushes rows [lo, hi) of the snapshot as one segment
+// with its index segments. Caller holds s.mu.
+func (s *DiskStore) writeSegmentLocked(snap *Snapshot, lo, hi int) error {
+	n := hi - lo
+	// Materialize the segment's rows sorted by the clustered column (stable,
+	// so equal keys keep arrival order).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = lo + i
+	}
+	if s.sortedBy >= 0 && s.sortedBy < s.width {
+		key := snap.Cols[s.sortedBy]
+		sort.SliceStable(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+	}
+	base := fmt.Sprintf("seg-%06d.seg", s.seq)
+	s.seq++
+	path := filepath.Join(s.dir, base)
+	zones, err := writeSegment(path, snap, perm)
+	if err != nil {
+		return err
+	}
+	for _, col := range s.indexCols {
+		if err := writeIndexSegment(ixPath(path, col), col, snap, perm, lo); err != nil {
+			return err
+		}
+	}
+	s.segs = append(s.segs, segMeta{File: base, Rows: n, zones: zones})
+	s.segRows = hi
+	return nil
+}
+
+// writeManifestLocked replaces the manifest atomically. Caller holds s.mu.
+func (s *DiskStore) writeManifestLocked(version uint64) error {
+	m := manifest{
+		Format:      manifestFormat,
+		Name:        s.name,
+		Width:       s.width,
+		SortedBy:    s.sortedBy,
+		DataVersion: version,
+		Seq:         s.seq,
+		IndexCols:   s.indexCols,
+		Segments:    s.segs,
+	}
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("storage: publish manifest: %w", err)
+	}
+	return nil
+}
+
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// computeZones returns per-column min/max over snapshot rows [lo, hi).
+func computeZones(snap *Snapshot, lo, hi int) []Zone {
+	zones := make([]Zone, len(snap.Cols))
+	for c, col := range snap.Cols {
+		if lo >= hi {
+			continue
+		}
+		z := Zone{Min: col[lo], Max: col[lo]}
+		for _, v := range col[lo+1 : hi] {
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zones[c] = z
+	}
+	return zones
+}
+
+// ixPath names the index segment file for a segment file and column.
+func ixPath(segPath string, col int) string {
+	return fmt.Sprintf("%s.ix%d", segPath[:len(segPath)-len(".seg")], col)
+}

@@ -1,0 +1,28 @@
+package storage
+
+import (
+	"encoding/binary"
+)
+
+// Key encoding for index segments: an order-preserving mapping from int64 to
+// 8 bytes such that bytes.Compare on encodings agrees with numeric order.
+// Flipping the sign bit biases the value into unsigned space
+// (math.MinInt64 -> 0x00.., -1 -> 0x7fff.., 0 -> 0x8000.., max -> 0xffff..),
+// and big-endian layout makes lexicographic byte order equal numeric order.
+
+// EncodeKey writes the order-preserving encoding of v into b[:8].
+func EncodeKey(b []byte, v int64) {
+	binary.BigEndian.PutUint64(b, uint64(v)^(1<<63))
+}
+
+// DecodeKey inverts EncodeKey.
+func DecodeKey(b []byte) int64 {
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63))
+}
+
+// appendKey appends the order-preserving encoding of v to dst.
+func appendKey(dst []byte, v int64) []byte {
+	var b [8]byte
+	EncodeKey(b[:], v)
+	return append(dst, b[:]...)
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MemStore is the volatile backend: the table's columnar mirror held behind
+// one atomically published Snapshot. Appends grow the columns and publish a
+// new snapshot; readers that loaded the previous snapshot keep a consistent
+// view because they only ever index rows < the N they loaded, and the
+// atomic Store/Load pair orders the value writes before the new length
+// becomes visible. When a column's backing array must grow, append copies
+// it, so old snapshots' arrays are never reallocated out from under a
+// reader.
+type MemStore struct {
+	width int
+	mu    sync.Mutex // serializes writers (Append/ResetRows)
+	snap  atomic.Pointer[Snapshot]
+}
+
+// NewMemStore returns an empty in-memory store of the given column count.
+func NewMemStore(width int) *MemStore {
+	s := &MemStore{width: width}
+	cols := make([][]int64, width)
+	s.snap.Store(&Snapshot{Cols: cols})
+	return s
+}
+
+// NewMemStoreRows builds a store from row-major data in one transpose.
+func NewMemStoreRows(width int, rows [][]int64) *MemStore {
+	s := NewMemStore(width)
+	s.ResetRows(rows)
+	return s
+}
+
+func (s *MemStore) Kind() string { return "mem" }
+
+func (s *MemStore) Snapshot() *Snapshot { return s.snap.Load() }
+
+func (s *MemStore) Append(rows [][]int64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, r := range rows {
+		if len(r) != s.width {
+			return fmt.Errorf("storage: append row has %d values, table has %d columns", len(r), s.width)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(rows)
+	return nil
+}
+
+// appendLocked grows the columns and publishes the new snapshot. Caller
+// holds s.mu.
+func (s *MemStore) appendLocked(rows [][]int64) {
+	old := s.snap.Load()
+	n := old.N + len(rows)
+	cols := make([][]int64, s.width)
+	for c := 0; c < s.width; c++ {
+		col := old.Cols[c]
+		if cap(col) < n {
+			// Grow with headroom by copying, never by reallocating the
+			// array an older snapshot may still be reading.
+			grown := make([]int64, old.N, growCap(old.N, n))
+			copy(grown, col[:old.N])
+			col = grown
+		}
+		col = col[:old.N]
+		for _, r := range rows {
+			col = append(col, r[c])
+		}
+		cols[c] = col
+	}
+	s.snap.Store(&Snapshot{Cols: cols, N: n})
+}
+
+// growCap picks an amortized capacity for growth to need.
+func growCap(have, need int) int {
+	c := have * 2
+	if c < need {
+		c = need
+	}
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+func (s *MemStore) ResetRows(rows [][]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.Store(transpose(s.width, rows))
+}
+
+// transpose builds a column-major snapshot from row-major data using one
+// contiguous backing array.
+func transpose(width int, rows [][]int64) *Snapshot {
+	n := len(rows)
+	cols := make([][]int64, width)
+	flat := make([]int64, width*n)
+	for c := 0; c < width; c++ {
+		col := flat[c*n : (c+1)*n : (c+1)*n]
+		for i, r := range rows {
+			col[i] = r[c]
+		}
+		cols[c] = col
+	}
+	return &Snapshot{Cols: cols, N: n}
+}
+
+func (s *MemStore) Scan(preds []Pred, batch int) *SegIter {
+	snap := s.snap.Load()
+	return newSegIter(snap, []span{{0, snap.N}}, 0, batch)
+}
+
+func (s *MemStore) ZoneCols() []int { return nil }
+
+func (s *MemStore) OrderedIndex(col int) *OrderedIndex { return nil }
+
+func (s *MemStore) LoadedVersion() uint64 { return 0 }
+
+func (s *MemStore) Flush(version uint64) error { return nil }
+
+func (s *MemStore) Close() error { return nil }

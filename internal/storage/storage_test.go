@@ -1,0 +1,379 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func row(vs ...int64) []int64 { return vs }
+
+// collect drains a scan into row-major form (arrival order of the windows).
+func collect(it *SegIter, width int) [][]int64 {
+	defer it.Release()
+	var out [][]int64
+	for {
+		cols, n, ok := it.Next()
+		if !ok {
+			return out
+		}
+		for i := 0; i < n; i++ {
+			r := make([]int64, width)
+			for c := range cols {
+				r[c] = cols[c][i]
+			}
+			out = append(out, r)
+		}
+	}
+}
+
+// sortRows orders rows lexicographically so multisets compare with
+// reflect.DeepEqual.
+func sortRows(rows [][]int64) {
+	sort.Slice(rows, func(a, b int) bool {
+		for c := range rows[a] {
+			if rows[a][c] != rows[b][c] {
+				return rows[a][c] < rows[b][c]
+			}
+		}
+		return false
+	})
+}
+
+func TestEncodeKeyPreservesOrder(t *testing.T) {
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -1e12, -2, -1, 0, 1, 2, 7, 1e12, math.MaxInt64 - 1, math.MaxInt64}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Int63()-rng.Int63())
+	}
+	var a, b [8]byte
+	for _, x := range vals {
+		for _, y := range vals {
+			EncodeKey(a[:], x)
+			EncodeKey(b[:], y)
+			cmp := bytes.Compare(a[:], b[:])
+			want := 0
+			if x < y {
+				want = -1
+			} else if x > y {
+				want = 1
+			}
+			if cmp != want {
+				t.Fatalf("EncodeKey order broken: %d vs %d -> %d, want %d", x, y, cmp, want)
+			}
+		}
+		if got := DecodeKey(a[:]); got != x {
+			t.Fatalf("DecodeKey(EncodeKey(%d)) = %d", x, got)
+		}
+	}
+}
+
+func TestMemStoreSnapshotIsolation(t *testing.T) {
+	s := NewMemStore(2)
+	if err := s.Append([][]int64{row(1, 10), row(2, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	old := s.Snapshot()
+	if err := s.Append([][]int64{row(3, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if old.N != 2 {
+		t.Fatalf("old snapshot N changed: %d", old.N)
+	}
+	if old.Cols[0][0] != 1 || old.Cols[1][1] != 20 {
+		t.Fatalf("old snapshot data changed: %v", old.Cols)
+	}
+	now := s.Snapshot()
+	if now.N != 3 || now.Cols[0][2] != 3 || now.Cols[1][2] != 30 {
+		t.Fatalf("new snapshot wrong: N=%d cols=%v", now.N, now.Cols)
+	}
+}
+
+func TestMemStoreConcurrentAppendScan(t *testing.T) {
+	s := NewMemStore(2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 500; i++ {
+			if err := s.Append([][]int64{row(i, i*2)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		rows := collect(s.Scan(nil, 64), 2)
+		for _, r := range rows {
+			if r[1] != r[0]*2 {
+				t.Fatalf("torn row observed: %v", r)
+			}
+		}
+	}
+	wg.Wait()
+	if got := s.Snapshot().N; got != 500 {
+		t.Fatalf("final N = %d, want 500", got)
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, "t", 2, 0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{row(3, 30), row(1, 10), row(2, 20)}
+	if err := s.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir, "t", 2, 0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.LoadedVersion(); got != 7 {
+		t.Fatalf("LoadedVersion = %d, want 7", got)
+	}
+	got := collect(s2.Scan(nil, 0), 2)
+	// The flushed segment is sorted by column 0.
+	if !reflect.DeepEqual(got, [][]int64{row(1, 10), row(2, 20), row(3, 30)}) {
+		t.Fatalf("reloaded rows = %v", got)
+	}
+	ix := s2.OrderedIndex(1)
+	if ix == nil {
+		t.Fatal("no ordered index after clean reload")
+	}
+	if ids := ix.Lookup(20); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("Lookup(20) = %v, want [1]", ids)
+	}
+	if ids := ix.RowIDs(); !reflect.DeepEqual(ids, []int64{0, 1, 2}) {
+		t.Fatalf("RowIDs = %v", ids)
+	}
+	// An unflushed append invalidates the persisted index.
+	if err := s2.Append([][]int64{row(9, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.OrderedIndex(1) != nil {
+		t.Fatal("index survived an unflushed append")
+	}
+}
+
+func TestDiskStoreWALReplayAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, "t", 2, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([][]int64{row(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([][]int64{row(2, 20), row(3, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush: rows live only in the log.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append a truncated record.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{5, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenDiskStore(dir, "t", 2, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s2.Scan(nil, 0), 2)
+	if !reflect.DeepEqual(got, [][]int64{row(1, 10), row(2, 20), row(3, 30)}) {
+		t.Fatalf("replayed rows = %v", got)
+	}
+	// The torn tail was truncated; appending and reloading again is clean.
+	if err := s2.Append([][]int64{row(4, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenDiskStore(dir, "t", 2, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Snapshot().N; got != 4 {
+		t.Fatalf("rows after torn-tail recovery = %d, want 4", got)
+	}
+}
+
+func TestDiskStoreZonePruningDifferential(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, "t", 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var all [][]int64
+	// Several flushes build several segments with distinct key ranges, so
+	// zone maps genuinely prune.
+	for seg := 0; seg < 4; seg++ {
+		var batch [][]int64
+		for i := 0; i < 300; i++ {
+			k := int64(seg*1000) + rng.Int63n(900)
+			batch = append(batch, row(k, rng.Int63n(50)))
+		}
+		if err := s.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(uint64(seg + 1)); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+	}
+	// Plus an unflushed tail that can never be pruned.
+	tail := [][]int64{row(5, 1), w2(2500, 2)}
+	if err := s.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, tail...)
+
+	preds := [][]Pred{
+		nil,
+		{{Col: 0, Op: CmpLT, Val: 1000}},
+		{{Col: 0, Op: CmpGE, Val: 3000}},
+		{{Col: 0, Op: CmpEQ, Val: 2500}},
+		{{Col: 0, Op: CmpGT, Val: 1500}, {Col: 0, Op: CmpLE, Val: 2200}},
+		{{Col: 0, Op: CmpLT, Val: -1}},
+		{{Col: 1, Op: CmpGE, Val: 25}}, // non-zone column: no pruning, still correct
+	}
+	for pi, ps := range preds {
+		it := s.Scan(ps, 97)
+		prunedRows := it.PrunedRows()
+		got := collect(it, 2)
+		// Apply the predicates exactly to both sides; pruning must never
+		// drop a matching row.
+		want := filterRows(all, ps)
+		gotF := filterRows(got, ps)
+		sortRows(want)
+		sortRows(gotF)
+		if !reflect.DeepEqual(gotF, want) {
+			t.Fatalf("pred set %d: pruned scan lost/added rows (got %d want %d)", pi, len(gotF), len(want))
+		}
+		if len(got)+prunedRows != len(all) {
+			t.Fatalf("pred set %d: scanned %d + pruned %d != total %d", pi, len(got), prunedRows, len(all))
+		}
+		if pi == 1 && prunedRows == 0 {
+			t.Fatal("range predicate pruned nothing across disjoint segments")
+		}
+	}
+	s.Close()
+}
+
+func w2(a, b int64) []int64 { return []int64{a, b} }
+
+func filterRows(rows [][]int64, preds []Pred) [][]int64 {
+	var out [][]int64
+	for _, r := range rows {
+		ok := true
+		for _, p := range preds {
+			v := r[p.Col]
+			switch p.Op {
+			case CmpEQ:
+				ok = v == p.Val
+			case CmpNE:
+				ok = v != p.Val
+			case CmpLT:
+				ok = v < p.Val
+			case CmpLE:
+				ok = v <= p.Val
+			case CmpGT:
+				ok = v > p.Val
+			case CmpGE:
+				ok = v >= p.Val
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, append([]int64(nil), r...))
+		}
+	}
+	return out
+}
+
+func TestDiskStoreResetRows(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, "t", 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([][]int64{row(1), row(2), row(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	// Same row count: the analyze path. Segments survive.
+	s.ResetRows([][]int64{row(1), row(2), row(3)})
+	if got := len(s.segs); got != 1 {
+		t.Fatalf("same-N reset dropped segments: %d", got)
+	}
+	// Different count: wholesale replacement; next flush rewrites.
+	s.ResetRows([][]int64{row(7), row(8)})
+	if err := s.Flush(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(dir, "t", 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(s2.Scan(nil, 0), 1)
+	if !reflect.DeepEqual(got, [][]int64{row(7), row(8)}) {
+		t.Fatalf("rows after wholesale reset = %v", got)
+	}
+	if len(s2.segs) != 1 {
+		t.Fatalf("expected 1 rewritten segment, have %d", len(s2.segs))
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	ix := NewOrderedIndex(0, []int64{5, 1, 3, 3, 9}, []int64{0, 1, 2, 3, 4})
+	if ids := ix.Lookup(3); !reflect.DeepEqual(ids, []int64{2, 3}) {
+		t.Fatalf("Lookup(3) = %v", ids)
+	}
+	if ids := ix.Range(2, 5); !reflect.DeepEqual(ids, []int64{2, 3, 0}) {
+		t.Fatalf("Range(2,5) = %v", ids)
+	}
+	if ids := ix.Range(10, 20); ids != nil {
+		t.Fatalf("Range(10,20) = %v, want nil", ids)
+	}
+}

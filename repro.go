@@ -164,6 +164,31 @@
 // recursions). cmd/reproserve wires the bounds to -mem-budget-mb and
 // -mem-ceiling-mb; reprobench -fig memory measures unbounded vs budgeted
 // execution side by side.
+//
+// # Storage
+//
+// Tables bind to a pluggable storage backend (internal/storage). The
+// default is an in-memory column store whose snapshots publish behind one
+// atomic pointer, so appending rows never disturbs the column windows an
+// in-flight execution is scanning — mutation-safe and still zero-copy.
+// Setting ServerOptions.DataDir binds every table to a log-structured
+// persistent backend under that directory instead: appends write through a
+// synced write-ahead log, and a graceful Server.Shutdown flushes the
+// unflushed tail into immutable column-segment files (rows sorted by the
+// table's clustered column, per-column min/max zone maps, plus ordered
+// secondary-index segments under an order-preserving key encoding). On the
+// next boot the directory wins over generated seed data: segments and log
+// replay into memory, data versions carry over (so result-cache
+// invalidation state survives), and the server serves byte-identical
+// results with zero regeneration. Segment zone maps also give the
+// optimizer a genuinely distinct access path — a segment-pruned scan that
+// skips whole segments a pushed-down predicate provably excludes — costed
+// and enumerated alongside table and index scans for persistent tables
+// only. ServerOptions.SpillDir independently places the (immediately
+// unlinked) spill partition files of memory-bounded execution; a write
+// failure there surfaces as a query error. cmd/reproserve wires these to
+// -data-dir and -spill-dir; -data-dir pairs naturally with -stats-file so
+// data and learned statistics both survive restarts.
 package repro
 
 import (
