@@ -14,11 +14,17 @@ import (
 // DiskStore is the log-structured persistent backend. On disk a table is a
 // directory holding:
 //
-//   - MANIFEST.json — format version, schema shape, data version, and the
-//     ordered segment list; replaced atomically (tmp + rename) so a crash
-//     mid-flush leaves the previous manifest intact.
-//   - wal.log — the append log: framed row batches written before they are
-//     acknowledged, replayed (tolerating a torn tail) on open.
+//   - MANIFEST.json — format version, schema shape, data version, the
+//     ordered segment list, and the NAME of the active append log; replaced
+//     atomically (tmp + rename, both fsynced) so a crash mid-flush leaves
+//     the previous manifest intact.
+//   - wal.log / wal-XXXXXX.log — the append log: framed row batches written
+//     before they are acknowledged, replayed (tolerating a torn tail) on
+//     open. Flush ROTATES to a fresh log and publishes its name in the same
+//     manifest that adds the compacted segment, so replay reads either the
+//     old manifest + old log or the new manifest + empty log — never the
+//     compacted rows twice. Logs the manifest no longer names are deleted
+//     at open.
 //   - seg-XXXXXX.seg — immutable column segments: rows sorted by the
 //     table's clustered column, per-column zone maps (min/max) in the
 //     header, then column-contiguous little-endian int64 data.
@@ -43,7 +49,8 @@ type DiskStore struct {
 
 	mu         sync.Mutex
 	wal        *os.File
-	walRows    int // rows in the log (the unflushed tail), when not dirtyAll
+	walFile    string // active log's file name, as recorded in the manifest
+	walRows    int    // rows in the log (the unflushed tail), when not dirtyAll
 	segs       []segMeta
 	segRows    int // rows covered by segments == start of the tail span
 	seq        int // next segment file number
@@ -68,13 +75,14 @@ type manifest struct {
 	DataVersion uint64    `json:"data_version"`
 	Seq         int       `json:"seq"`
 	IndexCols   []int     `json:"index_cols"`
+	Wal         string    `json:"wal,omitempty"`
 	Segments    []segMeta `json:"segments"`
 }
 
 const (
 	manifestFormat = 1
 	manifestName   = "MANIFEST.json"
-	walName        = "wal.log"
+	walName        = "wal.log" // bootstrap log name, before the first flush rotates
 	segMagic       = "REPROSG1"
 	ixMagic        = "REPROIX1"
 )
@@ -131,6 +139,22 @@ func (s *DiskStore) load() error {
 	}
 	s.loadedVer = m.DataVersion
 	s.seq = m.Seq
+	s.walFile = m.Wal
+	if s.walFile == "" {
+		// Fresh directory, or a crash before the first flush: the bootstrap
+		// log is the active one.
+		s.walFile = walName
+	}
+	// Drop logs the manifest no longer names — a crash between publishing a
+	// rotated manifest and removing the superseded log leaves the old file
+	// behind; replaying it would duplicate the rows Flush just compacted.
+	if stale, _ := filepath.Glob(filepath.Join(s.dir, "wal*.log")); len(stale) > 0 {
+		for _, p := range stale {
+			if filepath.Base(p) != s.walFile {
+				os.Remove(p)
+			}
+		}
+	}
 	var ixKeys, ixRows map[int][]int64
 	if len(s.indexCols) > 0 {
 		ixKeys = map[int][]int64{}
@@ -158,8 +182,8 @@ func (s *DiskStore) load() error {
 			ixRows[col] = append(ixRows[col], r...)
 		}
 	}
-	// Replay the append log; its rows are the unflushed tail.
-	walRows, err := replayWAL(filepath.Join(s.dir, walName), s.width, func(rows [][]int64) error {
+	// Replay the active append log; its rows are the unflushed tail.
+	walRows, err := replayWAL(filepath.Join(s.dir, s.walFile), s.width, func(rows [][]int64) error {
 		return s.mem.Append(rows)
 	})
 	if err != nil {
@@ -176,10 +200,10 @@ func (s *DiskStore) load() error {
 	return nil
 }
 
-// openWAL opens the log for appending, truncating any torn tail first so
-// new records never follow garbage.
+// openWAL opens the active log for appending, truncating any torn tail
+// first so new records never follow garbage.
 func (s *DiskStore) openWAL() (*os.File, error) {
-	path := filepath.Join(s.dir, walName)
+	path := filepath.Join(s.dir, s.walFile)
 	good, err := walGoodPrefix(path, s.width)
 	if err != nil {
 		return nil, err
@@ -192,9 +216,19 @@ func (s *DiskStore) openWAL() (*os.File, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: truncate wal: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: sync wal: %w", err)
+	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	// The file (and any stale-log removal) must be durable in the directory
+	// before the first append is acknowledged.
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return f, nil
 }
@@ -235,43 +269,49 @@ func (s *DiskStore) Append(rows [][]int64) error {
 func (s *DiskStore) ResetRows(rows [][]int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sameN := len(rows) == s.mem.Snapshot().N
-	s.mem.ResetRows(rows)
-	if sameN && !s.dirtyAll {
-		// The analyze/rebuild path re-materializes the same rows; keep the
-		// segments and refresh their zones from the new snapshot so pruning
-		// stays sound even if values moved within the mirror.
-		s.recomputeZonesLocked()
+	if sameContent(s.mem.Snapshot(), rows) {
+		// The analyze/rebuild path re-materializes identical content (the
+		// common case); segments, zones, and indexes all remain exact, so
+		// the snapshot readers hold stays published untouched.
 		return
 	}
-	// Wholesale replacement: history on disk no longer matches. The next
+	// Content changed — even at the same row count (e.g. a full sliding
+	// window replaced wholesale), disk history no longer matches. The next
 	// Flush rewrites everything as one segment.
+	s.mem.ResetRows(rows)
 	s.dirtyAll = true
 	s.indexValid = false
 }
 
-// recomputeZonesLocked rebuilds every segment's zone maps from the
-// in-memory span it covers. Caller holds s.mu.
-func (s *DiskStore) recomputeZonesLocked() {
-	snap := s.mem.Snapshot()
-	lo := 0
-	for i := range s.segs {
-		hi := lo + s.segs[i].Rows
-		if hi > snap.N {
-			hi = snap.N
-		}
-		s.segs[i].zones = computeZones(snap, lo, hi)
-		lo = hi
+// sameContent reports whether the row-major rows hold exactly the
+// snapshot's values, in order.
+func sameContent(snap *Snapshot, rows [][]int64) bool {
+	if len(rows) != snap.N {
+		return false
 	}
+	for i, r := range rows {
+		if len(r) != len(snap.Cols) {
+			return false
+		}
+		for c, v := range r {
+			if snap.Cols[c][i] != v {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (s *DiskStore) Scan(preds []Pred, batch int) *SegIter {
+	// Snapshot and segment metadata must be read atomically together: a
+	// concurrent ResetRows/Flush swaps both under mu, and applying one
+	// generation's zone maps to the other's data could prune live rows.
 	s.mu.Lock()
+	snap := s.mem.Snapshot()
 	segs := s.segs
 	segRows := s.segRows
 	dirtyAll := s.dirtyAll
 	s.mu.Unlock()
-	snap := s.mem.Snapshot()
 	if dirtyAll || len(preds) == 0 || len(segs) == 0 {
 		return newSegIter(snap, []span{{0, snap.N}}, 0, batch)
 	}
@@ -332,8 +372,12 @@ func (s *DiskStore) LoadedVersion() uint64 {
 }
 
 // Flush persists the unflushed tail (or, after a wholesale reset, the full
-// content) as a new sorted segment plus index segments, then rewrites the
-// manifest atomically and truncates the log.
+// content) as a new sorted segment plus index segments, then rotates to a
+// fresh append log and rewrites the manifest atomically. Replay is
+// idempotent across the flush boundary because the manifest names the
+// active log: a crash anywhere in Flush recovers either the old manifest +
+// old log (flush never happened) or the new manifest + empty log (flush
+// fully happened) — the compacted rows are never replayed twice.
 func (s *DiskStore) Flush(version uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -352,9 +396,7 @@ func (s *DiskStore) Flush(version uint64) error {
 		s.segRows = 0
 	}
 	fail := func(err error) error {
-		if s.dirtyAll {
-			s.segs, s.segRows = prevSegs, prevRows
-		}
+		s.segs, s.segRows = prevSegs, prevRows
 		return err
 	}
 	if s.segRows < snap.N {
@@ -362,8 +404,30 @@ func (s *DiskStore) Flush(version uint64) error {
 			return fail(err)
 		}
 	}
-	if err := s.writeManifestLocked(version); err != nil {
+	// Rotate: create the empty successor log before the manifest that names
+	// it. Until that manifest is published, replay still pairs the old
+	// manifest with the old log.
+	newWalFile := fmt.Sprintf("wal-%06d.log", s.seq)
+	s.seq++
+	newWAL, err := os.OpenFile(filepath.Join(s.dir, newWalFile), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("storage: create wal: %w", err))
+	}
+	abortWAL := func(err error) error {
+		newWAL.Close()
+		os.Remove(filepath.Join(s.dir, newWalFile))
 		return fail(err)
+	}
+	if err := newWAL.Sync(); err != nil {
+		return abortWAL(fmt.Errorf("storage: sync wal: %w", err))
+	}
+	// New segment and log files must be durable directory entries before
+	// the manifest that references them is published.
+	if err := syncDir(s.dir); err != nil {
+		return abortWAL(err)
+	}
+	if err := s.writeManifestLocked(version, newWalFile); err != nil {
+		return abortWAL(err)
 	}
 	s.dirtyAll = false
 	for _, sm := range obsolete {
@@ -372,12 +436,13 @@ func (s *DiskStore) Flush(version uint64) error {
 			os.Remove(ixPath(filepath.Join(s.dir, sm.File), col))
 		}
 	}
-	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("storage: truncate wal: %w", err)
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("storage: rewind wal: %w", err)
-	}
+	// The old log's rows are now covered by segments; drop it. If the
+	// process dies before the Remove lands, open-time cleanup deletes any
+	// log the manifest no longer names.
+	s.wal.Close()
+	os.Remove(filepath.Join(s.dir, s.walFile))
+	s.wal = newWAL
+	s.walFile = newWalFile
 	s.walRows = 0
 	s.loadedVer = version
 	// The fresh index segments refer to on-disk (sorted) row positions; the
@@ -418,8 +483,11 @@ func (s *DiskStore) writeSegmentLocked(snap *Snapshot, lo, hi int) error {
 	return nil
 }
 
-// writeManifestLocked replaces the manifest atomically. Caller holds s.mu.
-func (s *DiskStore) writeManifestLocked(version uint64) error {
+// writeManifestLocked replaces the manifest atomically and durably: the
+// tmp file is fsynced before the rename and the directory after it, so the
+// publication survives power loss, not just process death. Caller holds
+// s.mu.
+func (s *DiskStore) writeManifestLocked(version uint64, walFile string) error {
 	m := manifest{
 		Format:      manifestFormat,
 		Name:        s.name,
@@ -428,6 +496,7 @@ func (s *DiskStore) writeManifestLocked(version uint64) error {
 		DataVersion: version,
 		Seq:         s.seq,
 		IndexCols:   s.indexCols,
+		Wal:         walFile,
 		Segments:    s.segs,
 	}
 	raw, err := json.MarshalIndent(&m, "", "  ")
@@ -435,11 +504,41 @@ func (s *DiskStore) writeManifestLocked(version uint64) error {
 		return fmt.Errorf("storage: encode manifest: %w", err)
 	}
 	tmp := filepath.Join(s.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: create manifest: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("storage: write manifest: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close manifest: %w", err)
+	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("storage: publish manifest: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable, not merely ordered.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
 	}
 	return nil
 }
@@ -453,27 +552,6 @@ func (s *DiskStore) Close() error {
 	err := s.wal.Close()
 	s.wal = nil
 	return err
-}
-
-// computeZones returns per-column min/max over snapshot rows [lo, hi).
-func computeZones(snap *Snapshot, lo, hi int) []Zone {
-	zones := make([]Zone, len(snap.Cols))
-	for c, col := range snap.Cols {
-		if lo >= hi {
-			continue
-		}
-		z := Zone{Min: col[lo], Max: col[lo]}
-		for _, v := range col[lo+1 : hi] {
-			if v < z.Min {
-				z.Min = v
-			}
-			if v > z.Max {
-				z.Max = v
-			}
-		}
-		zones[c] = z
-	}
-	return zones
 }
 
 // ixPath names the index segment file for a segment file and column.
